@@ -1,0 +1,87 @@
+// Micro-benchmarks of the matching engines themselves (google-benchmark,
+// real wall-clock): recursive executor, host-parallel engine, and the SIMT
+// simulator overhead, on small dataset proxies.
+#include <benchmark/benchmark.h>
+
+#include "core/engine.hpp"
+#include "core/host_engine.hpp"
+#include "core/recursive.hpp"
+#include "graph/datasets.hpp"
+#include "pattern/matching_order.hpp"
+#include "pattern/queries.hpp"
+
+namespace {
+
+using namespace stm;
+
+const Graph& wiki_tiny() {
+  static const Graph g = make_dataset("wiki_vote", 0.15);
+  return g;
+}
+
+void BM_RecursiveExecutor(benchmark::State& state) {
+  const Graph& g = wiki_tiny();
+  const int q = static_cast<int>(state.range(0));
+  MatchingPlan plan(reorder_for_matching(query(q)), {});
+  std::uint64_t count = 0;
+  for (auto _ : state) {
+    count = recursive_count_range(g, plan, 0, g.num_vertices());
+    benchmark::DoNotOptimize(count);
+  }
+  state.counters["matches"] = static_cast<double>(count);
+}
+BENCHMARK(BM_RecursiveExecutor)->Arg(3)->Arg(8)->Arg(10);
+
+void BM_RecursiveNoCodeMotion(benchmark::State& state) {
+  const Graph& g = wiki_tiny();
+  PlanOptions popts;
+  popts.code_motion = false;
+  MatchingPlan plan(reorder_for_matching(query(static_cast<int>(state.range(0)))),
+                    popts);
+  for (auto _ : state) {
+    auto count = recursive_count_range(g, plan, 0, g.num_vertices());
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_RecursiveNoCodeMotion)->Arg(8)->Arg(10);
+
+void BM_HostEngine(benchmark::State& state) {
+  const Graph& g = wiki_tiny();
+  MatchingPlan plan(reorder_for_matching(query(10)), {});
+  HostEngineConfig cfg;
+  cfg.num_threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto r = host_match(g, plan, cfg);
+    benchmark::DoNotOptimize(r.count);
+  }
+}
+BENCHMARK(BM_HostEngine)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_SimulatedEngine(benchmark::State& state) {
+  // Wall cost of simulating one query end to end (scheduler + counters).
+  const Graph& g = wiki_tiny();
+  MatchingPlan plan(reorder_for_matching(query(10)), {});
+  EngineConfig cfg;
+  cfg.device.num_blocks = static_cast<std::uint32_t>(state.range(0));
+  cfg.device.warps_per_block = 8;
+  cfg.stop_level = 4;
+  cfg.detect_level = 2;
+  for (auto _ : state) {
+    auto r = stmatch_match(g, plan, cfg);
+    benchmark::DoNotOptimize(r.count);
+  }
+}
+BENCHMARK(BM_SimulatedEngine)->Arg(4)->Arg(16)->Arg(82);
+
+void BM_PlanCompilation(benchmark::State& state) {
+  Pattern p = query(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    MatchingPlan plan(reorder_for_matching(p), {});
+    benchmark::DoNotOptimize(plan.num_nodes());
+  }
+}
+BENCHMARK(BM_PlanCompilation)->Arg(8)->Arg(16)->Arg(24);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+// Labeled pattern search: find typed subgraphs in a heterogenous network.
+//
+// Models the cybersecurity / knowledge-graph use case from the paper's
+// introduction: vertices carry types (labels) and the query asks for a
+// specific typed shape — here, a "privilege-escalation triangle plus
+// exfiltration path" in a host-user-file interaction graph.
+//
+// Run:  ./example_labeled_search [--hosts=120] [--users=300] [--files=500]
+#include <cstdio>
+
+#include "core/engine.hpp"
+#include "core/host_engine.hpp"
+#include "graph/graph.hpp"
+#include "pattern/matching_order.hpp"
+#include "util/options.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace stm;
+
+constexpr Label kHost = 0;
+constexpr Label kUser = 1;
+constexpr Label kFile = 2;
+
+/// A synthetic interaction graph: users log into hosts, hosts store files,
+/// users own files; a few dense "incident" clusters are planted.
+Graph make_interaction_graph(VertexId hosts, VertexId users, VertexId files,
+                             std::uint64_t seed) {
+  Rng rng(seed);
+  const VertexId n = hosts + users + files;
+  GraphBuilder b(n);
+  auto host_id = [&](VertexId i) { return i; };
+  auto user_id = [&](VertexId i) { return hosts + i; };
+  auto file_id = [&](VertexId i) { return hosts + users + i; };
+  // Every user logs into 1-4 hosts.
+  for (VertexId u = 0; u < users; ++u) {
+    const auto logins = 1 + rng.next_below(4);
+    for (std::uint64_t l = 0; l < logins; ++l)
+      b.add_edge(user_id(u), host_id(static_cast<VertexId>(
+                                 rng.next_below(hosts))));
+  }
+  // Every file lives on one host and is owned by 1-2 users.
+  for (VertexId f = 0; f < files; ++f) {
+    b.add_edge(file_id(f), host_id(static_cast<VertexId>(rng.next_below(hosts))));
+    const auto owners = 1 + rng.next_below(2);
+    for (std::uint64_t o = 0; o < owners; ++o)
+      b.add_edge(file_id(f), user_id(static_cast<VertexId>(
+                                 rng.next_below(users))));
+  }
+  // Planted incidents: a user connected to two hosts that share a file.
+  for (int i = 0; i < 12; ++i) {
+    const auto u = user_id(static_cast<VertexId>(rng.next_below(users)));
+    const auto h1 = host_id(static_cast<VertexId>(rng.next_below(hosts)));
+    const auto h2 = host_id(static_cast<VertexId>(rng.next_below(hosts)));
+    const auto f = file_id(static_cast<VertexId>(rng.next_below(files)));
+    b.add_edge(u, h1);
+    b.add_edge(u, h2);
+    b.add_edge(f, h1);
+    b.add_edge(f, h2);
+    b.add_edge(u, f);
+  }
+  Graph g = b.build();
+  std::vector<Label> labels(n);
+  for (VertexId v = 0; v < n; ++v)
+    labels[v] = v < hosts ? kHost : (v < hosts + users ? kUser : kFile);
+  return g.with_labels(std::move(labels));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace stm;
+  Options opts(argc, argv);
+  opts.allow_only({"hosts", "users", "files"});
+  Graph g = make_interaction_graph(
+      static_cast<VertexId>(opts.get_int("hosts", 120)),
+      static_cast<VertexId>(opts.get_int("users", 300)),
+      static_cast<VertexId>(opts.get_int("files", 500)), 2024);
+  std::printf("interaction graph: %u vertices, %llu edges, %zu labels\n",
+              g.num_vertices(), static_cast<unsigned long long>(g.num_edges()),
+              g.num_labels());
+
+  // Query: user u reaches file f through two distinct hosts AND owns it:
+  //   u-h1, u-h2, f-h1, f-h2, u-f   with labels (user, host, host, file).
+  Pattern incident = Pattern(4, {{0, 1}, {0, 2}, {3, 1}, {3, 2}, {0, 3}})
+                         .with_labels({kUser, kHost, kHost, kFile});
+
+  PlanOptions popts;
+  popts.count_mode = CountMode::kUniqueSubgraphs;
+  MatchResult sim = stmatch_match_pattern(g, incident, popts);
+  std::printf("incident pattern matches (unique): %llu  (simulated %.3f ms)\n",
+              static_cast<unsigned long long>(sim.count), sim.stats.sim_ms);
+
+  // The same search on real host threads.
+  MatchingPlan plan(reorder_for_matching(incident), popts);
+  HostMatchResult host = host_match(g, plan);
+  std::printf("host-parallel run agrees: %llu matches in %.2f ms wall\n",
+              static_cast<unsigned long long>(host.count), host.wall_ms);
+  return host.count == sim.count ? 0 : 1;
+}

@@ -1,0 +1,58 @@
+// Motif census: count every connected motif of a given size in a graph.
+//
+// Motif counting is one of the applications the paper motivates (§I): the
+// relative frequencies of small subgraphs characterize networks (social
+// graphs are triangle-heavy, web graphs star-heavy, ...). This example runs
+// the full size-k census with the STMatch engine and prints unique-subgraph
+// counts per motif.
+//
+// Run:  ./example_motif_census [--size=4] [--vertices=200] [--graph=ba|er|grid]
+#include <cstdio>
+#include <string>
+
+#include "core/engine.hpp"
+#include "graph/generators.hpp"
+#include "pattern/motifs.hpp"
+#include "util/options.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace stm;
+  Options opts(argc, argv);
+  opts.allow_only({"size", "vertices", "graph"});
+  const auto size = static_cast<std::size_t>(opts.get_int("size", 4));
+  const auto n = static_cast<VertexId>(opts.get_int("vertices", 200));
+  const std::string kind = opts.get("graph", "ba");
+
+  Graph g;
+  if (kind == "ba")
+    g = make_barabasi_albert(n, 4, 7);
+  else if (kind == "er")
+    g = make_erdos_renyi(n, 8.0 / static_cast<double>(n), 7);
+  else
+    g = make_grid(n / 10 + 1, 10);
+
+  const auto motifs = connected_motifs(size);
+  std::printf("size-%zu motif census of a %s graph (%u vertices, %llu edges)\n"
+              "%zu motif classes\n\n",
+              size, kind.c_str(), g.num_vertices(),
+              static_cast<unsigned long long>(g.num_edges()), motifs.size());
+
+  PlanOptions popts;
+  popts.count_mode = CountMode::kUniqueSubgraphs;
+  popts.induced = Induced::kVertex;  // census = vertex-induced occurrences
+
+  Timer timer;
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < motifs.size(); ++i) {
+    MatchResult result = stmatch_match_pattern(g, motifs[i], popts);
+    total += result.count;
+    std::printf("motif %2zu  %-28s : %llu\n", i + 1,
+                motifs[i].to_string().c_str(),
+                static_cast<unsigned long long>(result.count));
+  }
+  std::printf("\ntotal induced size-%zu subgraphs: %llu  (%.1f ms wall)\n",
+              size, static_cast<unsigned long long>(total),
+              timer.elapsed_ms());
+  return 0;
+}

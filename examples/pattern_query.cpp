@@ -1,0 +1,89 @@
+// Command-line pattern matcher: run any query against any edge-list file.
+//
+//   ./example_pattern_query <graph.txt> <pattern>
+//       [--induced] [--unique] [--no-motion] [--host] [--list=N]
+//
+//   <graph.txt>  SNAP-style edge list ('u v' per line, '#' comments)
+//   <pattern>    edge list like "0-1,1-2,2-0", or q1..q24 for the
+//                evaluation queries
+//
+// Examples:
+//   ./example_pattern_query graph.txt 0-1,1-2,2-0 --unique
+//   ./example_pattern_query graph.txt q13 --induced --list=5
+#include <cstdio>
+#include <string>
+
+#include "core/engine.hpp"
+#include "core/host_engine.hpp"
+#include "core/recursive.hpp"
+#include "graph/edge_list.hpp"
+#include "pattern/matching_order.hpp"
+#include "pattern/queries.hpp"
+#include "util/options.hpp"
+
+int main(int argc, char** argv) {
+  using namespace stm;
+  Options opts(argc, argv);
+  opts.allow_only({"induced", "unique", "no-motion", "host", "list"});
+  if (opts.positional().size() != 2) {
+    std::fprintf(stderr,
+                 "usage: %s <graph.txt> <pattern|qN> [--induced] [--unique] "
+                 "[--no-motion] [--host] [--list=N]\n",
+                 argv[0]);
+    return 2;
+  }
+  try {
+    Graph g = load_edge_list(opts.positional()[0]);
+    const std::string& spec = opts.positional()[1];
+    Pattern p = (spec.size() >= 2 && spec[0] == 'q' &&
+                 spec.find('-') == std::string::npos)
+                    ? query(std::stoi(spec.substr(1)))
+                    : Pattern::parse(spec);
+
+    PlanOptions popts;
+    popts.induced =
+        opts.get_bool("induced", false) ? Induced::kVertex : Induced::kEdge;
+    popts.count_mode = opts.get_bool("unique", false)
+                           ? CountMode::kUniqueSubgraphs
+                           : CountMode::kEmbeddings;
+    popts.code_motion = !opts.get_bool("no-motion", false);
+
+    std::printf("graph: %u vertices, %llu edges | pattern: %s (%zu vertices)\n",
+                g.num_vertices(),
+                static_cast<unsigned long long>(g.num_edges()),
+                p.to_string().c_str(), p.size());
+
+    MatchingPlan plan(reorder_for_matching(p), popts);
+    if (opts.get_bool("host", false)) {
+      HostMatchResult r = host_match(g, plan);
+      std::printf("matches: %llu  (%.2f ms wall on host threads)\n",
+                  static_cast<unsigned long long>(r.count), r.wall_ms);
+    } else {
+      MatchResult r = stmatch_match(g, plan);
+      std::printf("matches: %llu  (%.3f ms simulated, occupancy %.2f, lane "
+                  "utilization %.2f)\n",
+                  static_cast<unsigned long long>(r.count), r.stats.sim_ms,
+                  r.stats.occupancy, r.stats.set_ops.utilization());
+    }
+
+    const auto list_n = opts.get_int("list", 0);
+    if (list_n > 0) {
+      std::printf("first %lld embeddings (reordered pattern vertices):\n",
+                  static_cast<long long>(list_n));
+      std::int64_t shown = 0;
+      recursive_enumerate_range(
+          g, plan, 0, g.num_vertices(),
+          [&](const std::vector<VertexId>& m) {
+            std::printf("  [");
+            for (std::size_t i = 0; i < m.size(); ++i)
+              std::printf("%s%u", i ? ", " : "", m[i]);
+            std::printf("]\n");
+            return ++shown < list_n;
+          });
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

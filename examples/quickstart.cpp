@@ -1,0 +1,51 @@
+// Quickstart: count triangles and 4-cliques in a small social graph.
+//
+// Demonstrates the minimal STMatch workflow:
+//   1. build (or load) a data graph,
+//   2. pick a query pattern,
+//   3. run the engine and read the count + execution statistics.
+//
+// Run:  ./example_quickstart [--vertices=N]
+#include <cstdio>
+
+#include "core/engine.hpp"
+#include "graph/generators.hpp"
+#include "pattern/pattern.hpp"
+#include "util/options.hpp"
+
+int main(int argc, char** argv) {
+  using namespace stm;
+  Options opts(argc, argv);
+  opts.allow_only({"vertices"});
+  const auto n = static_cast<VertexId>(opts.get_int("vertices", 300));
+
+  // A scale-free graph like a small social network.
+  Graph g = make_barabasi_albert(n, 5, /*seed=*/42);
+  std::printf("graph: %u vertices, %llu edges, max degree %llu\n",
+              g.num_vertices(), static_cast<unsigned long long>(g.num_edges()),
+              static_cast<unsigned long long>(g.max_degree()));
+
+  // Patterns are small edge lists; vertices are 0-based.
+  const Pattern triangle = Pattern::parse("0-1,1-2,2-0");
+  const Pattern four_clique = Pattern::parse("0-1,0-2,0-3,1-2,1-3,2-3");
+
+  // Count unique subgraphs (each triangle once, not once per symmetry).
+  PlanOptions popts;
+  popts.count_mode = CountMode::kUniqueSubgraphs;
+
+  for (const auto& [name, pattern] :
+       {std::pair{"triangles", triangle}, {"4-cliques", four_clique}}) {
+    MatchResult result = stmatch_match_pattern(g, pattern, popts);
+    std::printf("%-10s : %llu  (simulated %.3f ms, occupancy %.2f, "
+                "lane utilization %.2f)\n",
+                name, static_cast<unsigned long long>(result.count),
+                result.stats.sim_ms, result.stats.occupancy,
+                result.stats.set_ops.utilization());
+  }
+
+  std::printf(
+      "\nTip: use PlanOptions{Induced::kVertex, ...} for induced matching,\n"
+      "     host_match() for real multi-threaded CPU execution, and\n"
+      "     stmatch_match_multi_gpu() to split work across devices.\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Dryadic-style CPU baseline (paper's state-of-the-art CPU comparator).
+//
+// Dryadic runs the nested-loop backtracking of Fig. 1 with loop-invariant
+// code motion on a multicore CPU, distributing work statically by edges
+// (the first two loop levels combined — paper §III challenge 1). We execute
+// the identical algorithm through the shared recursive executor and model
+// time as the makespan of the statically partitioned per-edge work on T
+// scalar cores.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "pattern/plan.hpp"
+
+namespace stm {
+
+struct DryadicConfig {
+  /// Simulated worker threads (paper runs Dryadic with 64).
+  std::size_t threads = 64;
+  /// Scalar core clock for converting ops to milliseconds (Xeon 6226R).
+  double cpu_ghz = 2.9;
+  /// Scalar ops retired per cycle: set merges are memory-latency-bound and
+  /// 64 threads share two sockets of bandwidth.
+  double ops_per_cycle = 0.5;
+  /// Loop-invariant code motion (Dryadic has it on; turning it off models
+  /// the unoptimized nested loop).
+  bool code_motion = true;
+  /// Fixed fork/join overhead of the CPU parallel section (microseconds):
+  /// thread wake-up plus the final reduction barrier.
+  double setup_us = 60.0;
+};
+
+struct DryadicResult {
+  std::uint64_t count = 0;
+  /// Simulated milliseconds: makespan over statically partitioned threads.
+  double sim_ms = 0.0;
+  std::uint64_t total_ops = 0;
+  std::uint64_t makespan_ops = 0;
+  /// max thread ops / mean thread ops: the load imbalance the paper blames
+  /// static edge distribution for on deep queries.
+  double imbalance = 1.0;
+};
+
+/// Runs the Dryadic model. `plan_opts.code_motion` is overridden by
+/// `cfg.code_motion`.
+DryadicResult dryadic_match(const Graph& g, const Pattern& pattern,
+                            PlanOptions plan_opts = {},
+                            const DryadicConfig& cfg = {});
+
+}  // namespace stm

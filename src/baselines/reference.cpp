@@ -1,0 +1,88 @@
+#include "baselines/reference.hpp"
+
+#include "pattern/matching_order.hpp"
+#include "pattern/symmetry.hpp"
+
+namespace stm {
+
+namespace {
+
+struct RefState {
+  const Graph& g;
+  Pattern p;  // reordered
+  ReferenceOptions opts;
+  std::vector<SymmetryConstraint> constraints;
+  std::vector<VertexId> matched;
+  std::uint64_t count = 0;
+  const std::function<void(const std::vector<VertexId>&)>* emit = nullptr;
+
+  bool acceptable(std::size_t level, VertexId v) const {
+    if (p.is_labeled() && g.label(v) != p.label(level)) return false;
+    for (std::size_t j = 0; j < level; ++j) {
+      if (matched[j] == v) return false;  // injectivity
+      const bool data_edge = g.has_edge(matched[j], v);
+      if (p.has_edge(j, level)) {
+        if (!data_edge) return false;
+      } else if (opts.induced == Induced::kVertex && data_edge) {
+        return false;
+      }
+    }
+    for (const auto& c : constraints) {
+      if (c.larger == level && matched[c.smaller] >= v) return false;
+    }
+    return true;
+  }
+
+  void recurse(std::size_t level) {
+    if (level == p.size()) {
+      ++count;
+      if (emit != nullptr) (*emit)(matched);
+      return;
+    }
+    if (level == 0) {
+      for (VertexId v = 0; v < g.num_vertices(); ++v) {
+        if (!acceptable(0, v)) continue;
+        matched.push_back(v);
+        recurse(1);
+        matched.pop_back();
+      }
+      return;
+    }
+    // Candidates must neighbor the smallest earlier pattern neighbor.
+    std::size_t base = level;
+    for (std::size_t j = 0; j < level; ++j) {
+      if (p.has_edge(j, level)) {
+        base = j;
+        break;
+      }
+    }
+    STM_CHECK(base < level);
+    for (VertexId v : g.neighbors(matched[base])) {
+      if (!acceptable(level, v)) continue;
+      matched.push_back(v);
+      recurse(level + 1);
+      matched.pop_back();
+    }
+  }
+};
+
+}  // namespace
+
+std::uint64_t reference_enumerate(
+    const Graph& g, const Pattern& p, const ReferenceOptions& opts,
+    const std::function<void(const std::vector<VertexId>&)>& emit) {
+  RefState state{g, reorder_for_matching(p), opts, {}, {}, 0, nullptr};
+  if (opts.count_mode == CountMode::kUniqueSubgraphs)
+    state.constraints = symmetry_breaking_constraints(state.p);
+  if (emit) state.emit = &emit;
+  state.matched.reserve(state.p.size());
+  state.recurse(0);
+  return state.count;
+}
+
+std::uint64_t reference_count(const Graph& g, const Pattern& p,
+                              const ReferenceOptions& opts) {
+  return reference_enumerate(g, p, opts, nullptr);
+}
+
+}  // namespace stm

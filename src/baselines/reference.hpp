@@ -1,0 +1,35 @@
+// Brute-force reference enumerator — the gold standard for every engine.
+//
+// A direct recursive implementation of Algorithm 1 that checks each pattern
+// edge (and non-edge, for vertex-induced matching) individually against the
+// data graph. It shares no candidate-set machinery with the optimized
+// engines, so agreement between them is meaningful evidence of correctness.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "pattern/pattern.hpp"
+#include "pattern/plan.hpp"
+
+namespace stm {
+
+struct ReferenceOptions {
+  Induced induced = Induced::kEdge;
+  CountMode count_mode = CountMode::kEmbeddings;
+};
+
+/// Counts matches of `p` in `g`. The pattern may be in any order; it is
+/// internally reordered to a connected matching order.
+std::uint64_t reference_count(const Graph& g, const Pattern& p,
+                              const ReferenceOptions& opts = {});
+
+/// Enumerates matches, invoking `emit` with the mapping (query vertex i of
+/// the *reordered* pattern -> data vertex). Returns the count.
+std::uint64_t reference_enumerate(
+    const Graph& g, const Pattern& p, const ReferenceOptions& opts,
+    const std::function<void(const std::vector<VertexId>&)>& emit);
+
+}  // namespace stm

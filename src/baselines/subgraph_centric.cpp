@@ -1,0 +1,153 @@
+#include "baselines/subgraph_centric.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/recursive.hpp"
+#include "pattern/matching_order.hpp"
+#include "util/check.hpp"
+
+namespace stm {
+
+LevelProfile profile_levels(const Graph& g, const Pattern& pattern,
+                            PlanOptions plan_opts) {
+  plan_opts.code_motion = false;  // subgraph-centric systems cannot lift ops
+  MatchingPlan plan(reorder_for_matching(pattern), plan_opts);
+  RecursiveCounters counters;
+  LevelProfile profile;
+  profile.count =
+      recursive_count_range(g, plan, 0, g.num_vertices(), &counters);
+  profile.levels = plan.size();
+  profile.partials = counters.partials;
+  profile.extension_work = counters.extension_work;
+  return profile;
+}
+
+namespace {
+
+/// Warp-parallel cycles for `elements` of binary-search extension work,
+/// spread over the whole device (subgraph-centric systems parallelize each
+/// BFS level well — that is their one strength).
+std::uint64_t device_cycles(const CostModel& cost, std::uint64_t elements,
+                            std::uint64_t probe_depth,
+                            std::uint32_t total_warps) {
+  const std::uint64_t waves = (elements + kWarpWidth - 1) / kWarpWidth;
+  const std::uint64_t cycles = waves * (cost.wave_overhead + probe_depth);
+  return cycles / std::max<std::uint32_t>(total_warps, 1) + 1;
+}
+
+std::uint64_t probe_depth_for(const Graph& g) {
+  // Binary search in neighbor lists: depth ~ log2(max degree).
+  std::uint64_t depth = 1, cap = 1;
+  while (cap < g.max_degree()) {
+    cap <<= 1;
+    ++depth;
+  }
+  return depth;
+}
+
+}  // namespace
+
+SubgraphCentricResult cuts_match(const Graph& g, const Pattern& pattern,
+                                 const CutsConfig& cfg) {
+  STM_CHECK_MSG(!pattern.is_labeled(),
+                "the cuTS baseline supports unlabeled queries only");
+  cfg.device.validate();
+  SubgraphCentricResult result;
+  // Per-graph preprocessing (graph trie, candidate encoding) must fit
+  // before matching starts.
+  const std::uint64_t preprocess_bytes =
+      g.num_edges() * cfg.preprocess_bytes_per_edge;
+  result.peak_table_bytes = preprocess_bytes;
+  if (preprocess_bytes > cfg.device.global_mem_bytes) {
+    result.out_of_memory = true;
+    return result;
+  }
+  const LevelProfile profile =
+      profile_levels(g, pattern, {Induced::kEdge, false,
+                                  CountMode::kEmbeddings});
+  result.count = profile.count;
+  const auto warps = cfg.device.total_warps();
+  const auto probe = probe_depth_for(g);
+  std::uint64_t cycles = 0;
+  for (std::size_t l = 1; l < profile.levels; ++l) {
+    // Table of level-l partial subgraphs, trie-compressed.
+    const auto rows = profile.partials[l];
+    const auto bytes = static_cast<std::uint64_t>(
+        static_cast<double>(rows) * static_cast<double>(l + 1) *
+        sizeof(VertexId) / cfg.trie_compression);
+    result.peak_table_bytes = std::max(result.peak_table_bytes, bytes);
+    // Hybrid DFS/BFS chunking: split the level until a chunk fits.
+    const auto chunks = std::max<std::uint64_t>(
+        1, (bytes + cfg.device.global_mem_bytes - 1) /
+               cfg.device.global_mem_bytes);
+    if (chunks > cfg.max_dfs_chunks) {
+      result.out_of_memory = true;
+      result.count = 0;
+      return result;
+    }
+    // One launch + sync per chunk per level; chunked levels re-read their
+    // parent tables once per chunk.
+    result.kernel_launches += chunks;
+    cycles += chunks * cfg.cost.kernel_launch;
+    // Extension scans plus a second pass building the compressed trie.
+    cycles += device_cycles(cfg.cost, profile.extension_work[l] * 2, probe,
+                            warps);
+    // Global-memory traffic: write this level's table, re-read it at the
+    // next level (and once more per extra chunk).
+    const std::uint64_t elements = rows * (l + 1);
+    cycles +=
+        cfg.cost.global_copy_cycles(elements * (2 + chunks)) / warps + 1;
+  }
+  result.sim_ms = cfg.cost.to_ms(cycles);
+  return result;
+}
+
+SubgraphCentricResult gsi_match(const Graph& g, const Pattern& pattern,
+                                const GsiConfig& cfg) {
+  cfg.device.validate();
+  SubgraphCentricResult result;
+  // GSI builds per-graph candidate signature tables up front; on graphs
+  // whose encoding does not fit its budget the run aborts before matching.
+  const std::uint64_t signature_bytes =
+      g.num_edges() * cfg.signature_bytes_per_edge;
+  result.peak_table_bytes = signature_bytes;
+  if (signature_bytes > cfg.signature_budget_bytes) {
+    result.out_of_memory = true;
+    return result;
+  }
+  const LevelProfile profile =
+      profile_levels(g, pattern, {Induced::kEdge, false,
+                                  CountMode::kEmbeddings});
+  result.count = profile.count;
+  const auto warps = cfg.device.total_warps();
+  const auto probe = probe_depth_for(g);
+  std::uint64_t cycles = 0;
+  for (std::size_t l = 1; l < profile.levels; ++l) {
+    const auto rows = profile.partials[l];
+    // Flat (uncompressed) BFS tables; GSI has no DFS fallback, so a level
+    // that does not fit aborts the run (the paper's '×' entries).
+    const auto bytes =
+        rows * (static_cast<std::uint64_t>(l) + 1) * sizeof(VertexId);
+    result.peak_table_bytes = std::max(result.peak_table_bytes, bytes);
+    if (bytes > cfg.device.global_mem_bytes) {
+      result.out_of_memory = true;
+      result.count = 0;
+      return result;
+    }
+    result.kernel_launches += cfg.launches_per_level;
+    cycles += static_cast<std::uint64_t>(cfg.launches_per_level) *
+              cfg.cost.kernel_launch;
+    cycles += device_cycles(
+        cfg.cost,
+        static_cast<std::uint64_t>(static_cast<double>(profile.extension_work[l]) *
+                                   cfg.join_factor),
+        probe, warps);
+    const std::uint64_t elements = rows * (l + 1);
+    cycles += cfg.cost.global_copy_cycles(elements * 2) / warps + 1;
+  }
+  result.sim_ms = cfg.cost.to_ms(cycles);
+  return result;
+}
+
+}  // namespace stm

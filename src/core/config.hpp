@@ -1,0 +1,66 @@
+// STMatch engine configuration and result statistics.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/types.hpp"
+#include "simt/cost_model.hpp"
+#include "simt/device.hpp"
+
+namespace stm {
+
+/// Feature flags and tuning parameters of the STMatch engine
+/// (paper §VIII-A defaults: StopLevel 2, DetectLevel 1, UNROLL 8).
+struct EngineConfig {
+  DeviceConfig device;
+  CostModel cost;
+
+  /// Loop-unrolling factor (candidate choices expanded per descend).
+  std::uint32_t unroll = 8;
+  /// Enable intra-block (shared memory) work stealing.
+  bool local_steal = true;
+  /// Enable cross-block (global memory) work stealing.
+  bool global_steal = true;
+  /// Steal split points are restricted to levels < stop_level.
+  std::uint32_t stop_level = 2;
+  /// A busy warp offers work to idle blocks only while at level < detect_level.
+  std::uint32_t detect_level = 1;
+  /// Level-0 vertices grabbed per chunk request.
+  std::uint32_t chunk_size = 8;
+  /// Restrict the outermost loop to data vertices [v_begin, v_end); v_end = 0
+  /// means "to the end". Used for multi-device partitioning (paper Fig. 11).
+  VertexId v_begin = 0;
+  VertexId v_end = 0;
+  /// Step between outer-loop vertices: device d of D takes v_begin = d,
+  /// v_stride = D for a skew-balanced interleaved division of V.
+  VertexId v_stride = 1;
+};
+
+/// Execution statistics of one engine run.
+struct EngineStats {
+  /// Simulated makespan (max warp finish time), in cycles and milliseconds.
+  std::uint64_t makespan_cycles = 0;
+  double sim_ms = 0.0;
+  /// Sum of busy cycles over all warps.
+  std::uint64_t busy_cycles = 0;
+  /// busy / (makespan * warps): the occupancy the paper profiles in Fig. 12.
+  double occupancy = 0.0;
+  /// Aggregated warp set-operation counters; utilization() is the paper's
+  /// Fig. 13 thread-utilization metric.
+  WarpOpCost set_ops;
+  std::uint64_t chunks_grabbed = 0;
+  std::uint64_t local_steals = 0;
+  std::uint64_t global_steals = 0;
+  /// Modeled global-memory footprint of the per-warp stacks (bytes).
+  std::uint64_t stack_bytes = 0;
+  /// Shared-memory bytes used per block.
+  std::uint64_t shared_bytes_per_block = 0;
+};
+
+/// Result of a matching run.
+struct MatchResult {
+  std::uint64_t count = 0;
+  EngineStats stats;
+};
+
+}  // namespace stm

@@ -1,0 +1,30 @@
+// The STMatch engine: stack-based graph pattern matching (paper §IV-§VII).
+//
+// The backtracking loop of Algorithm 1 runs as an explicit stack machine on
+// every warp of a simulated GPU: candidate sets live in per-warp slabs
+// ("global memory"), loop state in shared memory, and the whole match
+// completes in a single simulated kernel. Load balance comes from two-level
+// work stealing (§V) and intra-warp utilization from loop unrolling with
+// fused multi-set operations (§VI); loop-invariant code motion is inherited
+// from the MatchingPlan (§VII).
+#pragma once
+
+#include "core/config.hpp"
+#include "graph/graph.hpp"
+#include "pattern/plan.hpp"
+
+namespace stm {
+
+/// Runs the engine for `plan` (built from a reordered pattern) on `g`.
+/// Deterministic: the virtual-time warp scheduler makes every run, including
+/// all stealing decisions, bit-reproducible.
+MatchResult stmatch_match(const Graph& g, const MatchingPlan& plan,
+                          const EngineConfig& cfg = {});
+
+/// Convenience wrapper: reorders `p` into matching order, compiles a plan,
+/// and runs the engine.
+MatchResult stmatch_match_pattern(const Graph& g, const Pattern& p,
+                                  const PlanOptions& plan_opts = {},
+                                  const EngineConfig& cfg = {});
+
+}  // namespace stm

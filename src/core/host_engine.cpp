@@ -1,0 +1,55 @@
+#include "core/host_engine.hpp"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/recursive.hpp"
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace stm {
+
+HostMatchResult host_match(const Graph& g, const MatchingPlan& plan,
+                           const HostEngineConfig& cfg) {
+  STM_CHECK(cfg.chunk_size >= 1);
+  std::size_t threads = cfg.num_threads;
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  const VertexId n = g.num_vertices();
+  std::atomic<VertexId> cursor{0};
+  std::vector<std::uint64_t> counts(threads, 0);
+  std::vector<RecursiveCounters> counters(threads);
+
+  Timer timer;
+  {
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        // Dynamic chunk claiming is the host-side analogue of the warp-level
+        // chunk grabbing in the SIMT engine.
+        for (;;) {
+          const VertexId begin =
+              cursor.fetch_add(cfg.chunk_size, std::memory_order_relaxed);
+          if (begin >= n) break;
+          const VertexId end = std::min<VertexId>(n, begin + cfg.chunk_size);
+          counts[t] +=
+              recursive_count_range(g, plan, begin, end, &counters[t]);
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+  }
+
+  HostMatchResult result;
+  result.wall_ms = timer.elapsed_ms();
+  for (std::size_t t = 0; t < threads; ++t) {
+    result.count += counts[t];
+    result.scalar_ops += counters[t].scalar_ops;
+  }
+  return result;
+}
+
+}  // namespace stm

@@ -1,0 +1,36 @@
+// Host-parallel execution path: real std::thread workers with dynamic
+// chunk distribution over the outermost loop.
+//
+// This is the execution mode a CPU-only downstream user runs in production;
+// the SIMT engine (engine.hpp) is the paper-faithful simulated-GPU path.
+// Both consume the same MatchingPlan and must produce identical counts.
+#pragma once
+
+#include <cstddef>
+
+#include "core/config.hpp"
+#include "graph/graph.hpp"
+#include "pattern/plan.hpp"
+
+namespace stm {
+
+struct HostEngineConfig {
+  /// Worker threads (0 = hardware concurrency).
+  std::size_t num_threads = 0;
+  /// Outer-loop vertices claimed per work grab.
+  VertexId chunk_size = 16;
+};
+
+struct HostMatchResult {
+  std::uint64_t count = 0;
+  /// Wall-clock milliseconds of the parallel section.
+  double wall_ms = 0.0;
+  /// Aggregate scalar set-operation work.
+  std::uint64_t scalar_ops = 0;
+};
+
+/// Counts matches of the plan on real threads.
+HostMatchResult host_match(const Graph& g, const MatchingPlan& plan,
+                           const HostEngineConfig& cfg = {});
+
+}  // namespace stm

@@ -1,0 +1,29 @@
+// Multi-device execution (paper Fig. 11).
+//
+// The paper runs on multiple GPUs "by duplicating the input graph and
+// dividing the outermost loop iterations across GPUs". Each simulated device
+// runs the full engine over a contiguous slice of V; the multi-device
+// makespan is the slowest device (they run concurrently).
+#pragma once
+
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/engine.hpp"
+
+namespace stm {
+
+struct MultiGpuResult {
+  std::uint64_t count = 0;
+  /// max over devices (concurrent execution).
+  double sim_ms = 0.0;
+  std::vector<MatchResult> per_device;
+};
+
+/// Runs `plan` over `num_devices` simulated devices, dividing the outer loop
+/// into contiguous slices of V.
+MultiGpuResult stmatch_match_multi_gpu(const Graph& g, const MatchingPlan& plan,
+                                       std::size_t num_devices,
+                                       const EngineConfig& cfg = {});
+
+}  // namespace stm

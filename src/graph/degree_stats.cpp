@@ -1,0 +1,33 @@
+#include "graph/degree_stats.hpp"
+
+#include <algorithm>
+
+namespace stm {
+
+DegreeStats compute_degree_stats(const Graph& g, EdgeId cap) {
+  DegreeStats s;
+  s.num_vertices = g.num_vertices();
+  s.num_edges = g.num_edges();
+  if (s.num_vertices == 0) return s;
+  auto degs = degree_sequence(g);
+  std::sort(degs.begin(), degs.end());
+  s.max_degree = degs.back();
+  const std::size_t n = degs.size();
+  s.median_degree = (n % 2 == 1)
+                        ? static_cast<double>(degs[n / 2])
+                        : 0.5 * static_cast<double>(degs[n / 2 - 1] + degs[n / 2]);
+  s.mean_degree =
+      2.0 * static_cast<double>(s.num_edges) / static_cast<double>(n);
+  std::size_t above = 0;
+  for (EdgeId d : degs) above += (d > cap);
+  s.frac_above_cap = static_cast<double>(above) / static_cast<double>(n);
+  return s;
+}
+
+std::vector<EdgeId> degree_sequence(const Graph& g) {
+  std::vector<EdgeId> degs(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) degs[v] = g.degree(v);
+  return degs;
+}
+
+}  // namespace stm

@@ -1,0 +1,27 @@
+// Degree statistics (paper Table I columns).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace stm {
+
+/// The statistics the paper reports per dataset in Table I.
+struct DegreeStats {
+  VertexId num_vertices = 0;
+  EdgeId num_edges = 0;
+  EdgeId max_degree = 0;
+  double median_degree = 0.0;
+  double mean_degree = 0.0;
+  /// Fraction of vertices whose degree exceeds the slab capacity
+  /// (the paper's "Deg. > 4096" column, parameterized by `cap`).
+  double frac_above_cap = 0.0;
+};
+
+DegreeStats compute_degree_stats(const Graph& g, EdgeId cap);
+
+/// All vertex degrees (for histograms/tests).
+std::vector<EdgeId> degree_sequence(const Graph& g);
+
+}  // namespace stm

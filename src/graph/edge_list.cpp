@@ -1,0 +1,56 @@
+#include "graph/edge_list.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace stm {
+
+Graph read_edge_list(std::istream& in) {
+  GraphBuilder builder;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    auto hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    std::istringstream ls(line);
+    long long u, v;
+    if (!(ls >> u)) continue;  // blank/comment line
+    STM_CHECK_MSG(static_cast<bool>(ls >> v),
+                  "edge list line " << line_no << ": expected two vertex ids");
+    STM_CHECK_MSG(u >= 0 && v >= 0,
+                  "edge list line " << line_no << ": negative vertex id");
+    builder.add_edge(static_cast<VertexId>(u), static_cast<VertexId>(v));
+    long long extra;
+    STM_CHECK_MSG(!(ls >> extra),
+                  "edge list line " << line_no << ": trailing tokens");
+  }
+  return builder.build();
+}
+
+Graph load_edge_list(const std::string& path) {
+  std::ifstream in(path);
+  STM_CHECK_MSG(in.good(), "cannot open edge list file: " << path);
+  return read_edge_list(in);
+}
+
+void write_edge_list(const Graph& g, std::ostream& out) {
+  out << "# stmatch edge list: " << g.num_vertices() << " vertices, "
+      << g.num_edges() << " edges\n";
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v : g.neighbors(u)) {
+      if (u < v) out << u << ' ' << v << '\n';
+    }
+  }
+}
+
+void save_edge_list(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  STM_CHECK_MSG(out.good(), "cannot open output file: " << path);
+  write_edge_list(g, out);
+  STM_CHECK_MSG(out.good(), "write failed: " << path);
+}
+
+}  // namespace stm

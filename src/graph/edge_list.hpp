@@ -1,0 +1,26 @@
+// Plain-text edge-list I/O (the SNAP repository format).
+//
+// Lines are `u v` pairs; `#` starts a comment. An optional label file has one
+// `vertex label` pair per line.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace stm {
+
+/// Parses an edge list from a stream. Throws check_error on malformed input.
+Graph read_edge_list(std::istream& in);
+
+/// Loads an edge-list file from disk.
+Graph load_edge_list(const std::string& path);
+
+/// Writes `u v` lines, one per undirected edge (u < v).
+void write_edge_list(const Graph& g, std::ostream& out);
+
+/// Saves to disk in the same format.
+void save_edge_list(const Graph& g, const std::string& path);
+
+}  // namespace stm

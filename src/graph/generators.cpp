@@ -1,0 +1,166 @@
+#include "graph/generators.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace stm {
+
+Graph make_erdos_renyi(VertexId n, double p, std::uint64_t seed) {
+  STM_CHECK(p >= 0.0 && p <= 1.0);
+  Rng rng(seed);
+  GraphBuilder b(n);
+  // Geometric skipping: expected O(n^2 p) work instead of n^2 coin flips.
+  const std::uint64_t total = static_cast<std::uint64_t>(n) * (n - 1) / 2;
+  auto pair_of = [n](std::uint64_t k) {
+    // Invert the row-major index of the strict upper triangle.
+    VertexId u = 0;
+    std::uint64_t row_len = n - 1;
+    while (k >= row_len) {
+      k -= row_len;
+      ++u;
+      --row_len;
+    }
+    return std::pair<VertexId, VertexId>(u, u + 1 + static_cast<VertexId>(k));
+  };
+  if (p >= 1.0) {
+    for (std::uint64_t k = 0; k < total; ++k) {
+      auto [u, v] = pair_of(k);
+      b.add_edge(u, v);
+    }
+  } else if (p > 0.0) {
+    const double log1mp = std::log1p(-p);
+    std::uint64_t k = 0;
+    while (k < total) {
+      const double r = rng.next_double();
+      const auto skip =
+          static_cast<std::uint64_t>(std::floor(std::log1p(-r) / log1mp));
+      if (total - k <= skip) break;
+      k += skip;
+      auto [u, v] = pair_of(k);
+      b.add_edge(u, v);
+      ++k;
+    }
+  }
+  return b.build();
+}
+
+Graph make_barabasi_albert(VertexId n, VertexId m, std::uint64_t seed) {
+  STM_CHECK(m >= 1);
+  STM_CHECK(n > m);
+  Rng rng(seed);
+  GraphBuilder b(n);
+  // Target multiset: each entry appears once per incident edge endpoint, so
+  // sampling from it is degree-proportional.
+  std::vector<VertexId> endpoints;
+  endpoints.reserve(static_cast<std::size_t>(n) * m * 2);
+  // Seed clique on the first m+1 vertices.
+  for (VertexId u = 0; u <= m; ++u) {
+    for (VertexId v = u + 1; v <= m; ++v) {
+      b.add_edge(u, v);
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  for (VertexId v = m + 1; v < n; ++v) {
+    std::vector<VertexId> targets;
+    targets.reserve(m);
+    while (targets.size() < m) {
+      VertexId t = endpoints[rng.next_below(endpoints.size())];
+      if (t == v) continue;
+      bool dup = false;
+      for (VertexId prev : targets) dup |= (prev == t);
+      if (!dup) targets.push_back(t);
+    }
+    for (VertexId t : targets) {
+      b.add_edge(v, t);
+      endpoints.push_back(v);
+      endpoints.push_back(t);
+    }
+  }
+  return b.build();
+}
+
+Graph make_rmat(int scale, double edge_factor, double a, double b, double c,
+                std::uint64_t seed) {
+  STM_CHECK(scale >= 1 && scale < 31);
+  const double d = 1.0 - a - b - c;
+  STM_CHECK_MSG(d >= -1e-9, "RMAT probabilities must sum to <= 1");
+  Rng rng(seed);
+  const VertexId n = VertexId{1} << scale;
+  const auto num_samples =
+      static_cast<std::uint64_t>(edge_factor * static_cast<double>(n));
+  GraphBuilder builder(n);
+  for (std::uint64_t e = 0; e < num_samples; ++e) {
+    VertexId u = 0, v = 0;
+    for (int bit = 0; bit < scale; ++bit) {
+      const double r = rng.next_double();
+      u <<= 1;
+      v <<= 1;
+      if (r < a) {
+        // top-left: no bits set
+      } else if (r < a + b) {
+        v |= 1;
+      } else if (r < a + b + c) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    builder.add_edge(u, v);
+  }
+  return builder.build();
+}
+
+Graph make_clique(VertexId n) {
+  GraphBuilder b(n);
+  for (VertexId u = 0; u < n; ++u)
+    for (VertexId v = u + 1; v < n; ++v) b.add_edge(u, v);
+  return b.build();
+}
+
+Graph make_cycle(VertexId n) {
+  STM_CHECK(n >= 3);
+  GraphBuilder b(n);
+  for (VertexId v = 0; v < n; ++v) b.add_edge(v, (v + 1) % n);
+  return b.build();
+}
+
+Graph make_star(VertexId leaves) {
+  STM_CHECK(leaves >= 1);
+  GraphBuilder b(leaves + 1);
+  for (VertexId v = 1; v <= leaves; ++v) b.add_edge(0, v);
+  return b.build();
+}
+
+Graph make_path(VertexId n) {
+  STM_CHECK(n >= 2);
+  GraphBuilder b(n);
+  for (VertexId v = 0; v + 1 < n; ++v) b.add_edge(v, v + 1);
+  return b.build();
+}
+
+Graph make_complete_bipartite(VertexId a, VertexId b) {
+  STM_CHECK(a >= 1 && b >= 1);
+  GraphBuilder builder(a + b);
+  for (VertexId u = 0; u < a; ++u)
+    for (VertexId v = 0; v < b; ++v) builder.add_edge(u, a + v);
+  return builder.build();
+}
+
+Graph make_grid(VertexId rows, VertexId cols) {
+  STM_CHECK(rows >= 1 && cols >= 1);
+  GraphBuilder b(rows * cols);
+  auto id = [cols](VertexId r, VertexId c) { return r * cols + c; };
+  for (VertexId r = 0; r < rows; ++r) {
+    for (VertexId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) b.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) b.add_edge(id(r, c), id(r + 1, c));
+    }
+  }
+  return b.build();
+}
+
+}  // namespace stm

@@ -1,0 +1,45 @@
+// Seeded synthetic graph generators.
+//
+// Power-law generators (Barabási–Albert, RMAT) provide the degree-skewed
+// proxies for the paper's SNAP datasets; the regular families (clique, cycle,
+// star, path, grid, complete bipartite) anchor closed-form tests.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace stm {
+
+/// G(n, p) Erdős–Rényi graph.
+Graph make_erdos_renyi(VertexId n, double p, std::uint64_t seed);
+
+/// Barabási–Albert preferential attachment: each new vertex attaches to
+/// `m` existing vertices (degree-proportional). Produces power-law skew.
+Graph make_barabasi_albert(VertexId n, VertexId m, std::uint64_t seed);
+
+/// RMAT / Kronecker-style generator with partition probabilities (a,b,c,d);
+/// 2^scale vertices and `edge_factor * 2^scale` sampled edges (before
+/// deduplication). a+b+c+d must sum to 1.
+Graph make_rmat(int scale, double edge_factor, double a, double b, double c,
+                std::uint64_t seed);
+
+/// Complete graph K_n.
+Graph make_clique(VertexId n);
+
+/// Cycle C_n (n >= 3).
+Graph make_cycle(VertexId n);
+
+/// Star S_n: one hub and n leaves (n+1 vertices).
+Graph make_star(VertexId leaves);
+
+/// Path P_n on n vertices.
+Graph make_path(VertexId n);
+
+/// Complete bipartite K_{a,b}.
+Graph make_complete_bipartite(VertexId a, VertexId b);
+
+/// 2-D grid with r rows and c columns.
+Graph make_grid(VertexId rows, VertexId cols);
+
+}  // namespace stm

@@ -1,0 +1,89 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+namespace stm {
+
+Graph::Graph(std::vector<EdgeId> row_ptr, std::vector<VertexId> col_idx,
+             std::vector<Label> labels)
+    : row_ptr_(std::move(row_ptr)),
+      col_idx_(std::move(col_idx)),
+      labels_(std::move(labels)) {
+  STM_CHECK_MSG(!row_ptr_.empty(), "CSR row_ptr must have n+1 entries");
+  STM_CHECK(row_ptr_.front() == 0);
+  STM_CHECK(row_ptr_.back() == col_idx_.size());
+  const VertexId n = num_vertices();
+  STM_CHECK(labels_.empty() || labels_.size() == n);
+  for (VertexId v = 0; v < n; ++v) {
+    STM_CHECK_MSG(row_ptr_[v] <= row_ptr_[v + 1], "row_ptr must be monotone");
+    for (EdgeId e = row_ptr_[v]; e + 1 < row_ptr_[v + 1]; ++e) {
+      STM_CHECK_MSG(col_idx_[e] < col_idx_[e + 1],
+                    "neighbor lists must be strictly ascending (vertex " << v
+                                                                         << ")");
+    }
+    for (EdgeId e = row_ptr_[v]; e < row_ptr_[v + 1]; ++e) {
+      STM_CHECK_MSG(col_idx_[e] < n, "neighbor id out of range");
+      STM_CHECK_MSG(col_idx_[e] != v, "self-loops are not allowed");
+    }
+  }
+}
+
+bool Graph::has_edge(VertexId u, VertexId v) const {
+  auto nbrs = neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+std::size_t Graph::num_labels() const {
+  if (labels_.empty()) return 1;
+  Label max_label = 0;
+  for (Label l : labels_) max_label = std::max(max_label, l);
+  return static_cast<std::size_t>(max_label) + 1;
+}
+
+EdgeId Graph::max_degree() const {
+  EdgeId best = 0;
+  for (VertexId v = 0; v < num_vertices(); ++v) best = std::max(best, degree(v));
+  return best;
+}
+
+Graph Graph::with_labels(std::vector<Label> labels) const {
+  STM_CHECK(labels.size() == num_vertices());
+  return Graph(row_ptr_, col_idx_, std::move(labels));
+}
+
+void GraphBuilder::add_edge(VertexId u, VertexId v) {
+  if (u == v) return;
+  n_ = std::max({n_, u + 1, v + 1});
+  edges_.emplace_back(std::min(u, v), std::max(u, v));
+}
+
+void GraphBuilder::set_num_vertices(VertexId n) { n_ = std::max(n_, n); }
+
+Graph GraphBuilder::build() {
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+
+  std::vector<EdgeId> row_ptr(static_cast<std::size_t>(n_) + 1, 0);
+  for (auto [u, v] : edges_) {
+    ++row_ptr[u + 1];
+    ++row_ptr[v + 1];
+  }
+  for (std::size_t i = 1; i < row_ptr.size(); ++i) row_ptr[i] += row_ptr[i - 1];
+
+  std::vector<VertexId> col_idx(edges_.size() * 2);
+  std::vector<EdgeId> cursor(row_ptr.begin(), row_ptr.end() - 1);
+  for (auto [u, v] : edges_) {
+    col_idx[cursor[u]++] = v;
+    col_idx[cursor[v]++] = u;
+  }
+  for (VertexId v = 0; v < n_; ++v) {
+    std::sort(col_idx.begin() + static_cast<std::ptrdiff_t>(row_ptr[v]),
+              col_idx.begin() + static_cast<std::ptrdiff_t>(row_ptr[v + 1]));
+  }
+  edges_.clear();
+  Graph g(std::move(row_ptr), std::move(col_idx));
+  n_ = 0;
+  return g;
+}
+
+}  // namespace stm

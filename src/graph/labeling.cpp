@@ -1,0 +1,35 @@
+#include "graph/labeling.hpp"
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace stm {
+
+std::vector<Label> random_labels(VertexId n, std::size_t num_labels,
+                                 std::uint64_t seed) {
+  STM_CHECK(num_labels >= 1 && num_labels <= kMaxLabels);
+  Rng rng(seed);
+  std::vector<Label> labels(n);
+  for (auto& l : labels) l = static_cast<Label>(rng.next_below(num_labels));
+  return labels;
+}
+
+Graph with_random_labels(const Graph& g, std::size_t num_labels,
+                         std::uint64_t seed) {
+  return g.with_labels(random_labels(g.num_vertices(), num_labels, seed));
+}
+
+std::vector<std::size_t> label_histogram(const Graph& g) {
+  std::vector<std::size_t> hist(g.num_labels(), 0);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) ++hist[g.label(v)];
+  return hist;
+}
+
+std::vector<std::vector<VertexId>> vertices_by_label(const Graph& g) {
+  std::vector<std::vector<VertexId>> by_label(g.num_labels());
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    by_label[g.label(v)].push_back(v);
+  return by_label;
+}
+
+}  // namespace stm

@@ -1,0 +1,29 @@
+// Vertex labelling utilities.
+//
+// The paper's labeled experiments assign ten uniform random labels to data
+// and query graphs (following Dryadic's setup).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace stm {
+
+/// Uniform random labels in [0, num_labels), seeded.
+std::vector<Label> random_labels(VertexId n, std::size_t num_labels,
+                                 std::uint64_t seed);
+
+/// Returns g with seeded uniform random labels attached.
+Graph with_random_labels(const Graph& g, std::size_t num_labels,
+                         std::uint64_t seed);
+
+/// Per-label vertex counts; size == g.num_labels().
+std::vector<std::size_t> label_histogram(const Graph& g);
+
+/// Vertices carrying each label, each list sorted ascending. Used by the
+/// GSI-style baseline for label-indexed candidate initialization.
+std::vector<std::vector<VertexId>> vertices_by_label(const Graph& g);
+
+}  // namespace stm

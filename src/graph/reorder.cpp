@@ -1,0 +1,86 @@
+#include "graph/reorder.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace stm {
+
+std::vector<VertexId> reorder_permutation(const Graph& g, ReorderKind kind) {
+  const VertexId n = g.num_vertices();
+  std::vector<VertexId> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  switch (kind) {
+    case ReorderKind::kDegreeDescending:
+      std::stable_sort(perm.begin(), perm.end(), [&](VertexId a, VertexId b) {
+        return g.degree(a) > g.degree(b);
+      });
+      break;
+    case ReorderKind::kDegreeAscending:
+      std::stable_sort(perm.begin(), perm.end(), [&](VertexId a, VertexId b) {
+        return g.degree(a) < g.degree(b);
+      });
+      break;
+    case ReorderKind::kBfs: {
+      std::vector<bool> visited(n, false);
+      std::vector<VertexId> order;
+      order.reserve(n);
+      // Seed each component at its max-degree vertex, hubs-first overall.
+      std::vector<VertexId> seeds(perm);
+      std::stable_sort(seeds.begin(), seeds.end(), [&](VertexId a, VertexId b) {
+        return g.degree(a) > g.degree(b);
+      });
+      std::deque<VertexId> queue;
+      for (VertexId seed : seeds) {
+        if (visited[seed]) continue;
+        visited[seed] = true;
+        queue.push_back(seed);
+        while (!queue.empty()) {
+          const VertexId v = queue.front();
+          queue.pop_front();
+          order.push_back(v);
+          for (VertexId u : g.neighbors(v)) {
+            if (!visited[u]) {
+              visited[u] = true;
+              queue.push_back(u);
+            }
+          }
+        }
+      }
+      perm = std::move(order);
+      break;
+    }
+  }
+  return perm;
+}
+
+Graph apply_reorder(const Graph& g, const std::vector<VertexId>& perm) {
+  const VertexId n = g.num_vertices();
+  STM_CHECK(perm.size() == n);
+  std::vector<VertexId> inverse(n, n);
+  for (VertexId new_id = 0; new_id < n; ++new_id) {
+    STM_CHECK(perm[new_id] < n);
+    STM_CHECK_MSG(inverse[perm[new_id]] == n, "perm must be a permutation");
+    inverse[perm[new_id]] = new_id;
+  }
+  GraphBuilder b(n);
+  for (VertexId old_u = 0; old_u < n; ++old_u)
+    for (VertexId old_v : g.neighbors(old_u))
+      if (old_u < old_v) b.add_edge(inverse[old_u], inverse[old_v]);
+  Graph out = b.build();
+  if (g.is_labeled()) {
+    std::vector<Label> labels(n);
+    for (VertexId new_id = 0; new_id < n; ++new_id)
+      labels[new_id] = g.label(perm[new_id]);
+    out = out.with_labels(std::move(labels));
+  }
+  return out;
+}
+
+Graph reorder_graph(const Graph& g, ReorderKind kind) {
+  return apply_reorder(g, reorder_permutation(g, kind));
+}
+
+}  // namespace stm

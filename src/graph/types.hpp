@@ -1,0 +1,23 @@
+// Fundamental identifier types shared across the library.
+#pragma once
+
+#include <cstdint>
+
+namespace stm {
+
+/// Data-graph vertex identifier.
+using VertexId = std::uint32_t;
+/// Edge index / adjacency offset (graphs can exceed 2^32 edge slots).
+using EdgeId = std::uint64_t;
+/// Vertex label. The paper's labeled experiments use 10 labels; we support
+/// up to 64 so label sets fit in one machine word (merged multi-label sets).
+using Label = std::uint8_t;
+
+/// Maximum number of distinct labels (label masks are 64-bit).
+inline constexpr std::size_t kMaxLabels = 64;
+
+/// Maximum query-pattern size. The paper evaluates up to 7 vertices; 8 keeps
+/// pattern adjacency in a single byte row.
+inline constexpr std::size_t kMaxPatternSize = 8;
+
+}  // namespace stm

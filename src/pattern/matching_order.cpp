@@ -1,0 +1,63 @@
+#include "pattern/matching_order.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace stm {
+
+std::vector<std::size_t> matching_order(const Pattern& p) {
+  const std::size_t n = p.size();
+  STM_CHECK_MSG(p.is_connected(), "matching order requires a connected pattern");
+  std::vector<std::size_t> order;
+  order.reserve(n);
+  std::uint8_t chosen = 0;
+
+  // Seed: max degree, ties by smallest id (deterministic).
+  std::size_t seed = 0;
+  for (std::size_t v = 1; v < n; ++v)
+    if (p.degree(v) > p.degree(seed)) seed = v;
+  order.push_back(seed);
+  chosen |= static_cast<std::uint8_t>(1u << seed);
+
+  while (order.size() < n) {
+    std::size_t best = n;
+    std::size_t best_conn = 0, best_deg = 0;
+    for (std::size_t v = 0; v < n; ++v) {
+      if ((chosen >> v) & 1u) continue;
+      const auto conn = static_cast<std::size_t>(
+          __builtin_popcount(p.adjacency_row(v) & chosen));
+      if (conn == 0) continue;  // keep the order connected
+      const std::size_t deg = p.degree(v);
+      if (best == n || conn > best_conn ||
+          (conn == best_conn && deg > best_deg)) {
+        best = v;
+        best_conn = conn;
+        best_deg = deg;
+      }
+    }
+    STM_CHECK(best < n);
+    order.push_back(best);
+    chosen |= static_cast<std::uint8_t>(1u << best);
+  }
+  return order;
+}
+
+bool is_connected_order(const Pattern& p,
+                        const std::vector<std::size_t>& order) {
+  if (order.size() != p.size()) return false;
+  std::uint8_t seen = 0;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const auto v = order[i];
+    if (v >= p.size()) return false;
+    if (i > 0 && (p.adjacency_row(v) & seen) == 0) return false;
+    seen |= static_cast<std::uint8_t>(1u << v);
+  }
+  return true;
+}
+
+Pattern reorder_for_matching(const Pattern& p) {
+  return p.relabeled(matching_order(p));
+}
+
+}  // namespace stm

@@ -1,0 +1,26 @@
+// Static matching-order generation (Algorithm 1 line 1).
+//
+// STMatch adopts Dryadic's static matching order; this module implements the
+// same class of order: connected (each vertex adjacent to at least one
+// earlier vertex), seeded at a densest vertex and greedily extended by
+// connectivity to the prefix, which is what prunes the exploration space.
+#pragma once
+
+#include <vector>
+
+#include "pattern/pattern.hpp"
+
+namespace stm {
+
+/// A permutation of the pattern vertices: order[i] = original vertex matched
+/// at step i. Guaranteed connected for connected patterns.
+std::vector<std::size_t> matching_order(const Pattern& p);
+
+/// True iff each position >= 1 is adjacent to an earlier position.
+bool is_connected_order(const Pattern& p, const std::vector<std::size_t>& order);
+
+/// Pattern relabeled so that its matching order is the identity; the engines
+/// all operate on reordered patterns.
+Pattern reorder_for_matching(const Pattern& p);
+
+}  // namespace stm

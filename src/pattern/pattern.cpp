@@ -1,0 +1,129 @@
+#include "pattern/pattern.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace stm {
+
+Pattern::Pattern(std::size_t n, const std::vector<std::pair<int, int>>& edges,
+                 std::vector<Label> labels)
+    : n_(n) {
+  STM_CHECK_MSG(n >= 1 && n <= kMaxPatternSize,
+                "pattern size must be in [1, " << kMaxPatternSize << "]");
+  for (auto [u, v] : edges) {
+    STM_CHECK_MSG(u >= 0 && v >= 0 && static_cast<std::size_t>(u) < n &&
+                      static_cast<std::size_t>(v) < n,
+                  "pattern edge (" << u << "," << v << ") out of range");
+    STM_CHECK_MSG(u != v, "pattern self-loops are not allowed");
+    adj_[static_cast<std::size_t>(u)] |= static_cast<std::uint8_t>(1u << v);
+    adj_[static_cast<std::size_t>(v)] |= static_cast<std::uint8_t>(1u << u);
+  }
+  if (!labels.empty()) {
+    STM_CHECK(labels.size() == n);
+    for (std::size_t i = 0; i < n; ++i) {
+      STM_CHECK(labels[i] < kMaxLabels);
+      labels_[i] = labels[i];
+    }
+    labeled_ = true;
+  }
+}
+
+Pattern Pattern::parse(const std::string& edge_list) {
+  std::vector<std::pair<int, int>> edges;
+  int max_vertex = -1;
+  std::istringstream is(edge_list);
+  std::string token;
+  while (std::getline(is, token, ',')) {
+    auto dash = token.find('-');
+    STM_CHECK_MSG(dash != std::string::npos,
+                  "pattern edge '" << token << "' must be 'u-v'");
+    int u = std::stoi(token.substr(0, dash));
+    int v = std::stoi(token.substr(dash + 1));
+    edges.emplace_back(u, v);
+    max_vertex = std::max({max_vertex, u, v});
+  }
+  STM_CHECK_MSG(max_vertex >= 0, "pattern must have at least one edge");
+  return Pattern(static_cast<std::size_t>(max_vertex) + 1, edges);
+}
+
+std::size_t Pattern::num_edges() const {
+  std::size_t total = 0;
+  for (std::size_t u = 0; u < n_; ++u) total += degree(u);
+  return total / 2;
+}
+
+Pattern Pattern::with_labels(std::vector<Label> labels) const {
+  Pattern p = *this;
+  STM_CHECK(labels.size() == n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    STM_CHECK(labels[i] < kMaxLabels);
+    p.labels_[i] = labels[i];
+  }
+  p.labeled_ = true;
+  return p;
+}
+
+bool Pattern::is_connected() const {
+  if (n_ == 0) return false;
+  std::uint8_t visited = 1;
+  for (;;) {
+    std::uint8_t next = visited;
+    for (std::size_t u = 0; u < n_; ++u)
+      if ((visited >> u) & 1u) next |= adj_[u];
+    if (next == visited) break;
+    visited = next;
+  }
+  return visited == static_cast<std::uint8_t>((1u << n_) - 1u);
+}
+
+bool Pattern::is_clique() const {
+  return num_edges() == n_ * (n_ - 1) / 2;
+}
+
+Pattern Pattern::relabeled(const std::vector<std::size_t>& perm) const {
+  STM_CHECK(perm.size() == n_);
+  // inverse[old] = new position of old vertex.
+  std::vector<std::size_t> inverse(n_, n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    STM_CHECK(perm[i] < n_);
+    STM_CHECK_MSG(inverse[perm[i]] == n_, "perm must be a permutation");
+    inverse[perm[i]] = i;
+  }
+  std::vector<std::pair<int, int>> edges;
+  for (std::size_t u = 0; u < n_; ++u)
+    for (std::size_t v = u + 1; v < n_; ++v)
+      if (has_edge(u, v))
+        edges.emplace_back(static_cast<int>(inverse[u]),
+                           static_cast<int>(inverse[v]));
+  Pattern p(n_, edges);
+  if (labeled_) {
+    std::vector<Label> labels(n_);
+    for (std::size_t i = 0; i < n_; ++i) labels[i] = labels_[perm[i]];
+    p = p.with_labels(std::move(labels));
+  }
+  return p;
+}
+
+std::string Pattern::to_string() const {
+  std::ostringstream os;
+  bool first = true;
+  for (std::size_t u = 0; u < n_; ++u) {
+    for (std::size_t v = u + 1; v < n_; ++v) {
+      if (has_edge(u, v)) {
+        if (!first) os << ',';
+        os << u << '-' << v;
+        first = false;
+      }
+    }
+  }
+  if (labeled_) {
+    os << ':';
+    for (std::size_t i = 0; i < n_; ++i) {
+      if (i) os << '.';
+      os << static_cast<int>(labels_[i]);
+    }
+  }
+  return os.str();
+}
+
+}  // namespace stm

@@ -1,0 +1,80 @@
+// Query patterns.
+//
+// Patterns are tiny (the paper evaluates 5-7 vertices), so adjacency is a
+// per-vertex bitmask row. Vertices may carry labels for labeled matching.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "util/check.hpp"
+
+namespace stm {
+
+/// A connected query pattern with at most kMaxPatternSize vertices.
+class Pattern {
+ public:
+  Pattern() = default;
+
+  /// From an undirected edge list over vertices [0, n).
+  Pattern(std::size_t n, const std::vector<std::pair<int, int>>& edges,
+          std::vector<Label> labels = {});
+
+  /// Parses "0-1,1-2,2-0" style edge lists.
+  static Pattern parse(const std::string& edge_list);
+
+  std::size_t size() const { return n_; }
+  std::size_t num_edges() const;
+
+  bool has_edge(std::size_t u, std::size_t v) const {
+    STM_CHECK(u < n_ && v < n_);
+    return (adj_[u] >> v) & 1u;
+  }
+
+  /// Bitmask of neighbors of u.
+  std::uint8_t adjacency_row(std::size_t u) const {
+    STM_CHECK(u < n_);
+    return adj_[u];
+  }
+
+  std::size_t degree(std::size_t u) const {
+    STM_CHECK(u < n_);
+    return static_cast<std::size_t>(__builtin_popcount(adj_[u]));
+  }
+
+  bool is_labeled() const { return labeled_; }
+  Label label(std::size_t u) const {
+    STM_CHECK(u < n_);
+    return labels_[u];
+  }
+
+  /// Returns a copy with vertex labels attached (values < kMaxLabels).
+  Pattern with_labels(std::vector<Label> labels) const;
+
+  bool is_connected() const;
+  bool is_clique() const;
+
+  /// Returns the pattern relabeled by `perm`: new vertex i = old vertex
+  /// perm[i].
+  Pattern relabeled(const std::vector<std::size_t>& perm) const;
+
+  /// "0-1,1-2,..." canonical string (sorted edges), with ":labels" suffix
+  /// when labeled.
+  std::string to_string() const;
+
+  bool operator==(const Pattern& o) const {
+    return n_ == o.n_ && adj_ == o.adj_ && labeled_ == o.labeled_ &&
+           (!labeled_ || labels_ == o.labels_);
+  }
+
+ private:
+  std::size_t n_ = 0;
+  std::array<std::uint8_t, kMaxPatternSize> adj_{};
+  std::array<Label, kMaxPatternSize> labels_{};
+  bool labeled_ = false;
+};
+
+}  // namespace stm

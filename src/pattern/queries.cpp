@@ -1,0 +1,73 @@
+#include "pattern/queries.hpp"
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace stm {
+
+namespace {
+
+const std::vector<std::string>& query_specs() {
+  static const std::vector<std::string> specs = {
+      // --- size 5 (q1..q8) ---
+      "0-1,1-2,2-3,3-4",                          // q1: path P5
+      "0-1,0-2,0-3,0-4,1-2",                      // q2: star + triangle
+      "0-1,1-2,2-3,3-4,4-0",                      // q3: cycle C5
+      "0-1,1-2,2-3,3-4,4-0,0-2",                  // q4: house (C5 + chord)
+      "0-1,1-2,2-0,2-3,3-4",                      // q5: tadpole (triangle+tail)
+      "0-1,0-2,0-3,1-2,1-3,2-3,3-4",              // q6: K4 + pendant
+      "0-1,0-2,0-3,0-4,1-2,1-3,1-4,2-3,2-4",      // q7: K5 minus edge (3-4)
+      "0-1,0-2,0-3,0-4,1-2,1-3,1-4,2-3,2-4,3-4",  // q8: K5
+      // --- size 6 (q9..q16) ---
+      "0-1,1-2,2-3,3-4,4-5",                      // q9: path P6
+      "0-1,1-2,2-3,3-4,4-5,5-0",                  // q10: cycle C6
+      "0-1,0-2,0-3,0-4,0-5,1-2",                  // q11: star + edge
+      "0-1,0-2,1-2,0-3,0-4,3-4,4-5",              // q12: bowtie + tail
+      "0-1,1-2,2-0,3-4,4-5,5-3,0-3,1-4,2-5",      // q13: prism (C3 x K2)
+      "0-1,1-2,2-3,3-4,4-5,5-0,0-3,1-4",          // q14: C6 + two chords
+      "0-1,0-2,0-3,0-4,0-5,1-2,1-3,1-4,1-5,2-3,2-4,2-5,3-4,3-5",  // q15: K6-e
+      "0-1,0-2,0-3,0-4,0-5,1-2,1-3,1-4,1-5,2-3,2-4,2-5,3-4,3-5,4-5",  // q16: K6
+      // --- size 7 (q17..q24) ---
+      "0-1,1-2,2-3,3-4,4-5,5-6",                  // q17: path P7
+      "0-1,1-2,2-3,3-4,4-5,5-6,6-0",              // q18: cycle C7
+      "0-1,0-2,0-3,0-4,0-5,0-6,1-2",              // q19: star + edge
+      "0-1,0-2,1-3,1-4,2-5,2-6",                  // q20: binary tree
+      "0-1,1-2,2-3,3-4,4-5,5-6,6-0,0-3,0-4",      // q21: C7 + two chords
+      "0-1,0-2,0-3,1-2,1-3,2-3,3-4,3-5,3-6,4-5,4-6,5-6",  // q22: two K4 sharing vertex 3
+      "0-1,0-2,0-3,0-4,0-5,0-6,1-2,1-3,1-4,1-5,1-6,2-3,2-4,2-5,2-6,"
+      "3-4,3-5,3-6,4-5,4-6",                      // q23: K7 minus edge (5-6)
+      "0-1,0-2,0-3,0-4,0-5,0-6,1-2,1-3,1-4,1-5,1-6,2-3,2-4,2-5,2-6,"
+      "3-4,3-5,3-6,4-5,4-6,5-6",                  // q24: K7
+  };
+  return specs;
+}
+
+}  // namespace
+
+int num_queries() { return static_cast<int>(query_specs().size()); }
+
+Pattern query(int index) {
+  STM_CHECK_MSG(index >= 1 && index <= num_queries(),
+                "query index must be in [1, " << num_queries() << "]");
+  return Pattern::parse(query_specs()[static_cast<std::size_t>(index - 1)]);
+}
+
+std::string query_name(int index) { return "q" + std::to_string(index); }
+
+std::vector<int> queries_of_size(std::size_t size) {
+  std::vector<int> out;
+  for (int i = 1; i <= num_queries(); ++i)
+    if (query(i).size() == size) out.push_back(i);
+  return out;
+}
+
+Pattern labeled_query(int index, std::size_t num_labels) {
+  STM_CHECK(num_labels >= 1 && num_labels <= kMaxLabels);
+  Pattern p = query(index);
+  Rng rng(0x4feedULL * 2654435761ULL + static_cast<std::uint64_t>(index));
+  std::vector<Label> labels(p.size());
+  for (auto& l : labels) l = static_cast<Label>(rng.next_below(num_labels));
+  return p.with_labels(std::move(labels));
+}
+
+}  // namespace stm

@@ -1,0 +1,35 @@
+// The 24 evaluation queries (paper §VIII-A).
+//
+// q1-q8 are size-5 motifs, q9-q16 size-6, q17-q24 size-7; q8, q16 and q24
+// are the cliques K5, K6, K7 and q7, q15, q23 the near-cliques (clique minus
+// one edge), covering the undirected patterns behind cuTS's 33 directed
+// queries. The remaining queries are fixed "randomly selected" motifs of the
+// respective size, spanning sparse (paths, stars, trees), cyclic, and dense
+// shapes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pattern/pattern.hpp"
+
+namespace stm {
+
+/// Query q<i>, 1-based (1..24). All queries are connected.
+Pattern query(int index);
+
+/// Number of evaluation queries (24).
+int num_queries();
+
+/// "q7" style name for table output.
+std::string query_name(int index);
+
+/// Indices of queries of the given pattern size (5, 6 or 7).
+std::vector<int> queries_of_size(std::size_t size);
+
+/// Labeled variant used in the labeled experiments: deterministic labels in
+/// [0, num_labels) assigned per query (seeded by the query index, as the
+/// paper assigns random labels to query graphs).
+Pattern labeled_query(int index, std::size_t num_labels = 10);
+
+}  // namespace stm

@@ -1,0 +1,62 @@
+#include "pattern/symmetry.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "util/check.hpp"
+
+namespace stm {
+
+std::vector<Permutation> automorphisms(const Pattern& p) {
+  const std::size_t n = p.size();
+  Permutation perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  std::vector<Permutation> autos;
+  do {
+    bool ok = true;
+    for (std::size_t u = 0; ok && u < n; ++u) {
+      if (p.is_labeled() && p.label(u) != p.label(perm[u])) {
+        ok = false;
+        break;
+      }
+      for (std::size_t v = u + 1; v < n; ++v) {
+        if (p.has_edge(u, v) != p.has_edge(perm[u], perm[v])) {
+          ok = false;
+          break;
+        }
+      }
+    }
+    if (ok) autos.push_back(perm);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  STM_CHECK(!autos.empty());  // identity is always present
+  return autos;
+}
+
+std::vector<SymmetryConstraint> symmetry_breaking_constraints(
+    const Pattern& p) {
+  std::vector<Permutation> group = automorphisms(p);
+  std::set<std::pair<std::size_t, std::size_t>> pairs;
+  for (std::size_t v = 0; v < p.size(); ++v) {
+    // Record v's nontrivial orbit under the current (pointwise) stabilizer of
+    // 0..v-1, then descend to the stabilizer of v.
+    std::vector<Permutation> stabilizer;
+    for (const auto& sigma : group) {
+      if (sigma[v] == v) {
+        stabilizer.push_back(sigma);
+      } else {
+        // sigma fixes 0..v-1, so sigma[v] > v.
+        STM_CHECK(sigma[v] > v);
+        pairs.emplace(v, sigma[v]);
+      }
+    }
+    group = std::move(stabilizer);
+  }
+  std::vector<SymmetryConstraint> out;
+  out.reserve(pairs.size());
+  for (auto [a, b] : pairs)
+    out.push_back({static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b)});
+  return out;
+}
+
+}  // namespace stm

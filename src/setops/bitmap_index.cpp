@@ -1,0 +1,41 @@
+#include "setops/bitmap_index.hpp"
+
+namespace stm {
+
+BitmapIndex::BitmapIndex(const Graph& g, EdgeId degree_threshold)
+    : graph_(&g), num_vertices_(g.num_vertices()) {
+  slot_.assign(num_vertices_, kNoSlot);
+  for (VertexId v = 0; v < num_vertices_; ++v) {
+    if (g.degree(v) < degree_threshold) continue;
+    DynamicBitset bits(num_vertices_);
+    for (VertexId u : g.neighbors(v)) bits.set(u);
+    slot_[v] = static_cast<std::uint32_t>(bitmaps_.size());
+    bitmaps_.push_back(std::move(bits));
+  }
+}
+
+void BitmapIndex::intersect_with_neighbors(SetView a, VertexId u,
+                                           std::vector<VertexId>& out) const {
+  out.clear();
+  if (has_bitmap(u)) {
+    const DynamicBitset& bits = bitmaps_[slot_[u]];
+    for (VertexId v : a)
+      if (bits.test(v)) out.push_back(v);
+  } else {
+    set_intersect_into(a, graph_->neighbors(u), out, IntersectAlgo::kMerge);
+  }
+}
+
+void BitmapIndex::subtract_neighbors(SetView a, VertexId u,
+                                     std::vector<VertexId>& out) const {
+  out.clear();
+  if (has_bitmap(u)) {
+    const DynamicBitset& bits = bitmaps_[slot_[u]];
+    for (VertexId v : a)
+      if (!bits.test(v)) out.push_back(v);
+  } else {
+    set_difference_into(a, graph_->neighbors(u), out);
+  }
+}
+
+}  // namespace stm

@@ -1,0 +1,59 @@
+// Bitmap adjacency index for dense-candidate set operations.
+//
+// Binary-search intersection costs O(|a| log |b|); when the same target set
+// is probed many times (hub vertices), a precomputed bitmap makes each probe
+// O(1). This is the classic dense-path complement to the merge/galloping
+// kernels and is what a GPU implementation would keep in shared memory for
+// hot vertices. The index is built once per graph for vertices above a
+// degree threshold.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "setops/set_ops.hpp"
+#include "util/bitset.hpp"
+
+namespace stm {
+
+class BitmapIndex {
+ public:
+  /// Builds bitmaps for all vertices with degree >= threshold.
+  BitmapIndex(const Graph& g, EdgeId degree_threshold);
+
+  /// True if v has a bitmap (degree >= threshold at build time).
+  bool has_bitmap(VertexId v) const {
+    return slot_[v] != kNoSlot;
+  }
+
+  /// O(1) adjacency test; only valid when has_bitmap(u).
+  bool adjacent(VertexId u, VertexId v) const {
+    return bitmaps_[slot_[u]].test(v);
+  }
+
+  /// result = a ∩ N(u), using the bitmap when available and falling back to
+  /// binary search otherwise.
+  void intersect_with_neighbors(SetView a, VertexId u,
+                                std::vector<VertexId>& out) const;
+
+  /// result = a \ N(u).
+  void subtract_neighbors(SetView a, VertexId u,
+                          std::vector<VertexId>& out) const;
+
+  /// Number of indexed vertices.
+  std::size_t num_indexed() const { return bitmaps_.size(); }
+  /// Total bitmap storage in bytes.
+  std::uint64_t memory_bytes() const {
+    return bitmaps_.size() * ((num_vertices_ + 63) / 64) * 8;
+  }
+
+ private:
+  static constexpr std::uint32_t kNoSlot = ~0u;
+  const Graph* graph_;
+  VertexId num_vertices_;
+  std::vector<std::uint32_t> slot_;
+  std::vector<DynamicBitset> bitmaps_;
+};
+
+}  // namespace stm

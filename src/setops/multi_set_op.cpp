@@ -1,0 +1,68 @@
+#include "setops/multi_set_op.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/prefix_sum.hpp"
+
+namespace stm {
+
+void combined_set_op(std::span<SetOpTask> tasks, WarpOpCost* cost) {
+  std::vector<std::uint64_t> sizes(tasks.size());
+  for (std::size_t t = 0; t < tasks.size(); ++t) {
+    STM_CHECK(tasks[t].out != nullptr);
+    tasks[t].out->clear();
+    sizes[t] = tasks[t].source.size();
+  }
+  const auto scan = exclusive_prefix_sum(sizes);  // paper: size_scan
+  const std::uint64_t total = scan.back();
+
+  WarpOpCost local;
+  std::size_t set_idx = 0;  // advances monotonically over the flat range
+  for (std::uint64_t wave_start = 0; wave_start < total;
+       wave_start += kWarpWidth) {
+    const std::uint64_t wave_end = std::min<std::uint64_t>(
+        wave_start + kWarpWidth, total);
+    std::uint32_t max_steps = 0;
+    for (std::uint64_t pos = wave_start; pos < wave_end; ++pos) {
+      while (scan[set_idx + 1] <= pos) ++set_idx;  // lane's set_idx
+      const SetOpTask& task = tasks[set_idx];
+      const std::uint64_t set_ofs = pos - scan[set_idx];
+      const VertexId value = task.source[set_ofs];
+      // bsearch_res in Fig. 8: 1 = keep.
+      const bool found = set_contains(task.target, value);
+      const bool keep_op =
+          (task.op == SetOpKind::kIntersect) ? found : !found;
+      max_steps = std::max(
+          max_steps, bsearch_steps(task.target.size()));
+      if (keep_op && task.filter.keep(value)) {
+        // Sequential emulation writes in flat order, which preserves the
+        // sorted order within each output set (ballot/popc compaction on a
+        // real warp produces the same order).
+        task.out->push_back(value);
+        ++local.elements_written;
+      }
+    }
+    ++local.waves;
+    local.busy_lane_slots += wave_end - wave_start;
+    local.probe_cycles += max_steps;
+  }
+  if (cost != nullptr) *cost += local;
+}
+
+void filtered_copy(SetView source, LabelFilter filter,
+                   std::vector<VertexId>& out, WarpOpCost* cost) {
+  out.clear();
+  for (VertexId v : source)
+    if (filter.keep(v)) out.push_back(v);
+  if (cost != nullptr) {
+    WarpOpCost local;
+    local.waves = (source.size() + kWarpWidth - 1) / kWarpWidth;
+    local.busy_lane_slots = source.size();
+    local.probe_cycles = local.waves;  // one step per wave for a copy
+    local.elements_written = out.size();
+    *cost += local;
+  }
+}
+
+}  // namespace stm

@@ -1,0 +1,150 @@
+#include "setops/set_ops.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace stm {
+
+bool set_contains(SetView s, VertexId v) {
+  return std::binary_search(s.begin(), s.end(), v);
+}
+
+namespace {
+
+void intersect_merge(SetView a, SetView b, std::vector<VertexId>& out) {
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j])
+      ++i;
+    else if (b[j] < a[i])
+      ++j;
+    else {
+      out.push_back(a[i]);
+      ++i;
+      ++j;
+    }
+  }
+}
+
+void intersect_binary(SetView a, SetView b, std::vector<VertexId>& out) {
+  for (VertexId v : a)
+    if (set_contains(b, v)) out.push_back(v);
+}
+
+void intersect_galloping(SetView a, SetView b, std::vector<VertexId>& out) {
+  // Always gallop through the larger set with elements of the smaller one;
+  // preserves sorted output since `a`'s order is kept when a is smaller, and
+  // intersection is symmetric.
+  if (a.size() > b.size()) {
+    intersect_galloping(b, a, out);
+    return;
+  }
+  std::size_t lo = 0;
+  for (VertexId v : a) {
+    // Exponential search for the first position with b[pos] >= v.
+    std::size_t step = 1, hi = lo;
+    while (hi < b.size() && b[hi] < v) {
+      lo = hi + 1;
+      hi += step;
+      step <<= 1;
+    }
+    hi = std::min(hi, b.size());
+    auto it = std::lower_bound(b.begin() + static_cast<std::ptrdiff_t>(lo),
+                               b.begin() + static_cast<std::ptrdiff_t>(hi), v);
+    lo = static_cast<std::size_t>(it - b.begin());
+    if (lo < b.size() && b[lo] == v) {
+      out.push_back(v);
+      ++lo;
+    }
+  }
+}
+
+}  // namespace
+
+void set_intersect_into(SetView a, SetView b, std::vector<VertexId>& out,
+                        IntersectAlgo algo) {
+  out.clear();
+  switch (algo) {
+    case IntersectAlgo::kMerge:
+      intersect_merge(a, b, out);
+      break;
+    case IntersectAlgo::kBinary:
+      intersect_binary(a, b, out);
+      break;
+    case IntersectAlgo::kGalloping:
+      intersect_galloping(a, b, out);
+      break;
+  }
+}
+
+std::vector<VertexId> set_intersect(SetView a, SetView b, IntersectAlgo algo) {
+  std::vector<VertexId> out;
+  out.reserve(std::min(a.size(), b.size()));
+  set_intersect_into(a, b, out, algo);
+  return out;
+}
+
+void set_difference_into(SetView a, SetView b, std::vector<VertexId>& out) {
+  out.clear();
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j])
+      out.push_back(a[i++]);
+    else if (b[j] < a[i])
+      ++j;
+    else {
+      ++i;
+      ++j;
+    }
+  }
+  for (; i < a.size(); ++i) out.push_back(a[i]);
+}
+
+std::vector<VertexId> set_difference(SetView a, SetView b) {
+  std::vector<VertexId> out;
+  out.reserve(a.size());
+  set_difference_into(a, b, out);
+  return out;
+}
+
+std::size_t set_intersect_count(SetView a, SetView b) {
+  std::size_t count = 0, i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j])
+      ++i;
+    else if (b[j] < a[i])
+      ++j;
+    else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+std::size_t set_difference_count(SetView a, SetView b) {
+  return a.size() - set_intersect_count(a, b);
+}
+
+void set_op_into(SetOpKind op, SetView lhs, SetView rhs,
+                 std::vector<VertexId>& out) {
+  if (op == SetOpKind::kIntersect)
+    set_intersect_into(lhs, rhs, out);
+  else
+    set_difference_into(lhs, rhs, out);
+}
+
+std::uint32_t bsearch_steps(std::size_t set_size) {
+  // ceil(log2(n)) + 1 probe steps; degenerate sets still cost one step.
+  std::uint32_t ceil_log2 = 0;
+  std::size_t pow2 = 1;
+  while (pow2 < set_size) {
+    pow2 <<= 1;
+    ++ceil_log2;
+  }
+  return ceil_log2 + 1;
+}
+
+}  // namespace stm

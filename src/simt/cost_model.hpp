@@ -1,0 +1,59 @@
+// SIMT cycle cost model.
+//
+// The reproduction substitutes a deterministic simulator for CUDA hardware
+// (DESIGN.md §2): every warp-level operation is converted into simulated
+// cycles here. The weights encode the *relative* costs the paper's analysis
+// depends on — binary-search probe depth per wave, cheap shared-memory
+// traffic vs. expensive global-memory traffic, and the per-launch overhead
+// that penalizes the subgraph-centric baselines.
+#pragma once
+
+#include <cstdint>
+
+#include "setops/multi_set_op.hpp"
+
+namespace stm {
+
+struct CostModel {
+  /// Nominal clock used to report simulated milliseconds.
+  double clock_ghz = 1.4;
+
+  /// Per-wave issue overhead of a warp-wide operation.
+  std::uint64_t wave_overhead = 2;
+  /// Bookkeeping per stack-machine loop iteration (level checks, iter
+  /// increments — paper Fig. 3 lines 6-16).
+  std::uint64_t stack_step = 4;
+  /// Cycles per 32-element wave copied within shared memory (local steal).
+  std::uint64_t shared_copy_per_wave = 4;
+  /// Cycles per 32-element wave copied through global memory (global steal,
+  /// subgraph-table traffic in the baselines).
+  std::uint64_t global_copy_per_wave = 48;
+  /// Scanning co-block stacks to select a local-steal victim.
+  std::uint64_t steal_scan = 64;
+  /// Scanning the global is_idle array once.
+  std::uint64_t idle_check = 24;
+  /// Spin-wait poll interval for idle warps (paper Fig. 6 "spin wait").
+  std::uint64_t idle_poll = 512;
+  /// Kernel launch + device synchronization (charged per extension step by
+  /// the subgraph-centric baselines; STMatch pays it once).
+  std::uint64_t kernel_launch = 30000;
+
+  /// Cycles of a fused warp set operation.
+  std::uint64_t set_op_cycles(const WarpOpCost& c) const {
+    return c.waves * wave_overhead + c.probe_cycles;
+  }
+  /// Cycles to move `elements` vertices within shared memory.
+  std::uint64_t shared_copy_cycles(std::uint64_t elements) const {
+    return ((elements + kWarpWidth - 1) / kWarpWidth) * shared_copy_per_wave;
+  }
+  /// Cycles to move `elements` vertices through global memory.
+  std::uint64_t global_copy_cycles(std::uint64_t elements) const {
+    return ((elements + kWarpWidth - 1) / kWarpWidth) * global_copy_per_wave;
+  }
+
+  double to_ms(std::uint64_t cycles) const {
+    return static_cast<double>(cycles) / (clock_ghz * 1e6);
+  }
+};
+
+}  // namespace stm

@@ -1,0 +1,44 @@
+// Simulated GPU device configuration and capacity checks.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/types.hpp"
+#include "util/check.hpp"
+
+namespace stm {
+
+/// Shape of the simulated device. Defaults are scaled down from the paper's
+/// RTX 3090 (82 SMs x 32 warps) in proportion to the scaled-down datasets.
+struct DeviceConfig {
+  std::uint32_t num_blocks = 12;
+  std::uint32_t warps_per_block = 8;
+  /// Shared memory per thread block (bytes); holds Csize/iter/uiter and the
+  /// per-warp bookkeeping (paper §IV). Exceeding it is a launch failure.
+  std::uint64_t shared_mem_bytes = 48 * 1024;
+  /// Global memory (bytes); bounds the subgraph tables of the baselines and
+  /// the stack slabs of STMatch.
+  std::uint64_t global_mem_bytes = 256ULL * 1024 * 1024;
+
+  std::uint32_t total_warps() const { return num_blocks * warps_per_block; }
+
+  void validate() const {
+    STM_CHECK(num_blocks >= 1);
+    STM_CHECK(warps_per_block >= 1);
+    STM_CHECK(shared_mem_bytes >= 1024);
+  }
+};
+
+/// Per-warp shared-memory footprint of the STMatch stack bookkeeping:
+/// Csize (uint16) for every set node x unroll column, plus iter/uiter/
+/// matched-vertex arrays per level (paper §IV allocates these in shared
+/// memory; the candidate arrays C live in global memory).
+inline std::uint64_t stmatch_shared_bytes_per_warp(std::size_t num_nodes,
+                                                   std::uint32_t unroll,
+                                                   std::size_t pattern_size) {
+  const std::uint64_t csize = 2ULL * num_nodes * unroll;
+  const std::uint64_t per_level = (4 + 1 + 4) * pattern_size;  // iter/uiter/v
+  return csize + per_level + 16;  // level counter + flags
+}
+
+}  // namespace stm

@@ -1,0 +1,97 @@
+// Dynamic bitset with population-count support.
+//
+// Used for per-warp idle bitmaps in the global work-stealing protocol and for
+// label masks in merged multi-label sets.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace stm {
+
+class DynamicBitset {
+ public:
+  DynamicBitset() = default;
+  explicit DynamicBitset(std::size_t nbits, bool value = false)
+      : nbits_(nbits), words_((nbits + 63) / 64, value ? ~0ULL : 0ULL) {
+    trim();
+  }
+
+  std::size_t size() const { return nbits_; }
+  bool empty() const { return nbits_ == 0; }
+
+  bool test(std::size_t i) const {
+    STM_CHECK(i < nbits_);
+    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+
+  void set(std::size_t i, bool value = true) {
+    STM_CHECK(i < nbits_);
+    if (value)
+      words_[i >> 6] |= (1ULL << (i & 63));
+    else
+      words_[i >> 6] &= ~(1ULL << (i & 63));
+  }
+
+  void reset(std::size_t i) { set(i, false); }
+
+  void clear_all() {
+    for (auto& w : words_) w = 0;
+  }
+  void set_all() {
+    for (auto& w : words_) w = ~0ULL;
+    trim();
+  }
+
+  std::size_t count() const {
+    std::size_t c = 0;
+    for (auto w : words_) c += static_cast<std::size_t>(__builtin_popcountll(w));
+    return c;
+  }
+
+  bool all() const { return count() == nbits_; }
+  bool any() const {
+    for (auto w : words_)
+      if (w) return true;
+    return false;
+  }
+  bool none() const { return !any(); }
+
+  /// Index of the first set bit, or size() if none.
+  std::size_t find_first() const {
+    for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+      if (words_[wi]) {
+        std::size_t i = (wi << 6) +
+                        static_cast<std::size_t>(__builtin_ctzll(words_[wi]));
+        return i < nbits_ ? i : nbits_;
+      }
+    }
+    return nbits_;
+  }
+
+  DynamicBitset& operator|=(const DynamicBitset& o) {
+    STM_CHECK(nbits_ == o.nbits_);
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= o.words_[i];
+    return *this;
+  }
+  DynamicBitset& operator&=(const DynamicBitset& o) {
+    STM_CHECK(nbits_ == o.nbits_);
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= o.words_[i];
+    return *this;
+  }
+
+  bool operator==(const DynamicBitset& o) const {
+    return nbits_ == o.nbits_ && words_ == o.words_;
+  }
+
+ private:
+  void trim() {
+    if (nbits_ & 63) words_.back() &= (1ULL << (nbits_ & 63)) - 1;
+  }
+  std::size_t nbits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace stm

@@ -1,0 +1,44 @@
+// Checked preconditions and invariants.
+//
+// STM_CHECK is always on (release builds included): the matching engines are
+// driven by user-supplied graphs and plans, so precondition violations must
+// surface as exceptions rather than undefined behaviour.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace stm {
+
+/// Thrown when a precondition or internal invariant is violated.
+class check_error : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void check_fail(const char* expr, const char* file, int line,
+                                    const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": check failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw check_error(os.str());
+}
+}  // namespace detail
+
+}  // namespace stm
+
+#define STM_CHECK(expr)                                                \
+  do {                                                                 \
+    if (!(expr)) ::stm::detail::check_fail(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define STM_CHECK_MSG(expr, msg)                                      \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      std::ostringstream stm_check_os_;                               \
+      stm_check_os_ << msg;                                           \
+      ::stm::detail::check_fail(#expr, __FILE__, __LINE__, stm_check_os_.str()); \
+    }                                                                 \
+  } while (0)

@@ -1,0 +1,87 @@
+#include "util/options.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace stm {
+
+Options::Options(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    STM_CHECK_MSG(!arg.empty(), "bare '--' is not a valid option");
+    auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else {
+      values_[arg] = "true";  // boolean flag
+    }
+  }
+}
+
+bool Options::has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+std::string Options::get(const std::string& name,
+                         const std::string& fallback) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t Options::get_int(const std::string& name,
+                              std::int64_t fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  try {
+    std::size_t pos = 0;
+    std::int64_t v = std::stoll(it->second, &pos);
+    STM_CHECK(pos == it->second.size());
+    return v;
+  } catch (const std::exception&) {
+    STM_CHECK_MSG(false, "option --" << name << " expects an integer, got '"
+                                     << it->second << "'");
+  }
+  return fallback;
+}
+
+double Options::get_double(const std::string& name, double fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  try {
+    std::size_t pos = 0;
+    double v = std::stod(it->second, &pos);
+    STM_CHECK(pos == it->second.size());
+    return v;
+  } catch (const std::exception&) {
+    STM_CHECK_MSG(false, "option --" << name << " expects a number, got '"
+                                     << it->second << "'");
+  }
+  return fallback;
+}
+
+bool Options::get_bool(const std::string& name, bool fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  STM_CHECK_MSG(false, "option --" << name << " expects a boolean, got '" << v
+                                   << "'");
+  return fallback;
+}
+
+void Options::allow_only(const std::vector<std::string>& known) const {
+  for (const auto& [name, value] : values_) {
+    (void)value;
+    STM_CHECK_MSG(std::find(known.begin(), known.end(), name) != known.end(),
+                  "unknown option --" << name);
+  }
+}
+
+}  // namespace stm

@@ -1,0 +1,38 @@
+// Minimal command-line option parser for benches and examples.
+//
+// Accepts `--name=value` and boolean `--flag` forms; everything else is a
+// positional argument.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace stm {
+
+class Options {
+ public:
+  /// Parses argv; throws stm::check_error on malformed input
+  /// (unknown options are kept — callers validate with `allow_only`).
+  Options(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+
+  std::string get(const std::string& name, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Positional (non ``--``) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Throws if any parsed option is not in `known` (catches typos).
+  void allow_only(const std::vector<std::string>& known) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace stm

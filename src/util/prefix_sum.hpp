@@ -1,0 +1,61 @@
+// Prefix sums.
+//
+// The combined multi-set operation (paper Fig. 8) locates each lane's
+// (set_idx, set_ofs) through a prefix sum over set sizes; these helpers are
+// the host-side equivalents.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace stm {
+
+/// Exclusive prefix sum; result has size v.size() + 1 with the total at the
+/// back (the CSR row-pointer convention).
+template <typename T>
+std::vector<T> exclusive_prefix_sum(const std::vector<T>& v) {
+  std::vector<T> out(v.size() + 1);
+  T acc{};
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    out[i] = acc;
+    acc += v[i];
+  }
+  out[v.size()] = acc;
+  return out;
+}
+
+/// Inclusive prefix sum, same length as the input.
+template <typename T>
+std::vector<T> inclusive_prefix_sum(const std::vector<T>& v) {
+  std::vector<T> out(v.size());
+  T acc{};
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    acc += v[i];
+    out[i] = acc;
+  }
+  return out;
+}
+
+/// Given an exclusive prefix sum `scan` (size n+1) and a flat index
+/// `pos < scan.back()`, return the segment index i with
+/// scan[i] <= pos < scan[i+1].  This is the `set_idx` computation of
+/// paper Fig. 8.
+template <typename T>
+std::size_t segment_of(const std::vector<T>& scan, T pos) {
+  STM_CHECK(scan.size() >= 2);
+  STM_CHECK(pos < scan.back());
+  // Upper-bound binary search.
+  std::size_t lo = 0, hi = scan.size() - 1;
+  while (lo + 1 < hi) {
+    std::size_t mid = (lo + hi) / 2;
+    if (scan[mid] <= pos)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return lo;
+}
+
+}  // namespace stm

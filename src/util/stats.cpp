@@ -1,0 +1,65 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace stm {
+
+Summary summarize(std::vector<double> sample) {
+  Summary s;
+  s.count = sample.size();
+  if (sample.empty()) return s;
+  std::sort(sample.begin(), sample.end());
+  s.min = sample.front();
+  s.max = sample.back();
+  double sum = 0.0;
+  for (double v : sample) sum += v;
+  s.mean = sum / static_cast<double>(sample.size());
+  const std::size_t n = sample.size();
+  s.median = (n % 2 == 1) ? sample[n / 2]
+                          : 0.5 * (sample[n / 2 - 1] + sample[n / 2]);
+  double ss = 0.0;
+  for (double v : sample) ss += (v - s.mean) * (v - s.mean);
+  s.stddev = n > 1 ? std::sqrt(ss / static_cast<double>(n - 1)) : 0.0;
+  return s;
+}
+
+double percentile(std::vector<double> sample, double p) {
+  STM_CHECK(!sample.empty());
+  STM_CHECK(p >= 0.0 && p <= 100.0);
+  std::sort(sample.begin(), sample.end());
+  if (sample.size() == 1) return sample[0];
+  const double rank = p / 100.0 * static_cast<double>(sample.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= sample.size()) return sample.back();
+  return sample[lo] * (1.0 - frac) + sample[lo + 1] * frac;
+}
+
+double geometric_mean(const std::vector<double>& sample) {
+  STM_CHECK(!sample.empty());
+  double log_sum = 0.0;
+  for (double v : sample) {
+    STM_CHECK_MSG(v > 0.0, "geometric mean requires positive values");
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(sample.size()));
+}
+
+std::vector<std::size_t> histogram(const std::vector<double>& sample, double lo,
+                                   double hi, std::size_t bins) {
+  STM_CHECK(bins > 0);
+  STM_CHECK(hi > lo);
+  std::vector<std::size_t> h(bins, 0);
+  const double width = (hi - lo) / static_cast<double>(bins);
+  for (double v : sample) {
+    auto b = static_cast<std::int64_t>((v - lo) / width);
+    b = std::clamp<std::int64_t>(b, 0, static_cast<std::int64_t>(bins) - 1);
+    ++h[static_cast<std::size_t>(b)];
+  }
+  return h;
+}
+
+}  // namespace stm

@@ -1,0 +1,34 @@
+// Descriptive statistics used by the benchmark harness and dataset reports.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace stm {
+
+/// Summary statistics of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double median = 0.0;
+  double stddev = 0.0;
+};
+
+/// Computes the summary of a sample (copy is sorted internally).
+Summary summarize(std::vector<double> sample);
+
+/// p-th percentile (0 <= p <= 100) with linear interpolation.
+/// The sample is sorted internally.
+double percentile(std::vector<double> sample, double p);
+
+/// Geometric mean; every element must be > 0.
+double geometric_mean(const std::vector<double>& sample);
+
+/// Fixed-width histogram over [lo, hi) with `bins` buckets; values outside
+/// the range are clamped into the first/last bucket.
+std::vector<std::size_t> histogram(const std::vector<double>& sample, double lo,
+                                   double hi, std::size_t bins);
+
+}  // namespace stm

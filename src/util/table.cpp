@@ -1,0 +1,74 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace stm {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> row) {
+  rows_.push_back(Row{std::move(row), false});
+}
+
+void Table::add_separator() { rows_.push_back(Row{{}, true}); }
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.cells.size(); ++c) {
+      if (c >= widths.size()) widths.resize(c + 1, 0);
+      widths[c] = std::max(widths[c], r.cells[c].size());
+    }
+  }
+  auto rule = [&] {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      os << '+' << std::string(widths[c] + 2, '-');
+    }
+    os << "+\n";
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      os << "| " << std::setw(static_cast<int>(widths[c])) << std::left << cell
+         << ' ';
+    }
+    os << "|\n";
+  };
+  rule();
+  line(header_);
+  rule();
+  for (const auto& r : rows_) {
+    if (r.separator)
+      rule();
+    else
+      line(r.cells);
+  }
+  rule();
+}
+
+std::string Table::fmt(double v, int digits) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(digits) << v;
+  return os.str();
+}
+
+std::string Table::fmt_count(unsigned long long v) {
+  std::string raw = std::to_string(v);
+  std::string out;
+  int since_sep = 0;
+  for (auto it = raw.rbegin(); it != raw.rend(); ++it) {
+    if (since_sep == 3) {
+      out.push_back(',');
+      since_sep = 0;
+    }
+    out.push_back(*it);
+    ++since_sep;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace stm

@@ -1,0 +1,43 @@
+// ASCII table rendering for the benchmark harness.
+//
+// Every paper-table reproduction prints through this so the output format is
+// uniform and diffable.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace stm {
+
+/// Column-aligned ASCII table. Rows may be ragged; missing cells are blank.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a data row.
+  void add_row(std::vector<std::string> row);
+
+  /// Appends a horizontal separator at the current position.
+  void add_separator();
+
+  /// Renders with padded columns, header rule, and `|` separators.
+  void print(std::ostream& os) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+  /// Formats a double with `digits` decimal places.
+  static std::string fmt(double v, int digits = 1);
+  /// Formats an integer count with thousands separators.
+  static std::string fmt_count(unsigned long long v);
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace stm

@@ -1,0 +1,25 @@
+// Wall-clock timing for host-execution measurements.
+#pragma once
+
+#include <chrono>
+
+namespace stm {
+
+/// Monotonic stopwatch, started on construction.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  double elapsed_ms() const { return elapsed_seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace stm

@@ -1,0 +1,127 @@
+// Randomized cross-engine agreement sweep.
+//
+// Many random (graph, pattern, options, engine-config) combinations; every
+// engine must agree with the recursive executor, which in turn is checked
+// against the brute-force reference elsewhere. This is the failure-injection
+// net for the stealing/unrolling state machine: random device shapes and
+// split parameters exercise steal paths that the targeted tests miss.
+#include <gtest/gtest.h>
+
+#include "baselines/dryadic.hpp"
+#include "baselines/subgraph_centric.hpp"
+#include "core/engine.hpp"
+#include "core/host_engine.hpp"
+#include "core/recursive.hpp"
+#include "graph/generators.hpp"
+#include "graph/labeling.hpp"
+#include "pattern/matching_order.hpp"
+#include "pattern/motifs.hpp"
+#include "util/rng.hpp"
+
+namespace stm {
+namespace {
+
+Graph random_graph(Rng& rng) {
+  const auto kind = rng.next_below(3);
+  const auto n = static_cast<VertexId>(20 + rng.next_below(60));
+  switch (kind) {
+    case 0:
+      return make_erdos_renyi(n, 0.1 + 0.2 * rng.next_double(), rng());
+    case 1:
+      return make_barabasi_albert(n, 2 + static_cast<VertexId>(rng.next_below(4)),
+                                  rng());
+    default:
+      return make_rmat(6, 4.0, 0.5, 0.2, 0.2, rng());
+  }
+}
+
+Pattern random_pattern(Rng& rng, std::size_t max_size) {
+  const auto size = 3 + rng.next_below(max_size - 2);
+  const auto motifs = connected_motifs(size);
+  return motifs[rng.next_below(motifs.size())];
+}
+
+EngineConfig random_config(Rng& rng) {
+  EngineConfig cfg;
+  cfg.device.num_blocks = 1 + static_cast<std::uint32_t>(rng.next_below(8));
+  cfg.device.warps_per_block =
+      1 + static_cast<std::uint32_t>(rng.next_below(6));
+  cfg.unroll = 1u << rng.next_below(4);  // 1..8
+  cfg.chunk_size = 1 + static_cast<std::uint32_t>(rng.next_below(12));
+  cfg.local_steal = rng.next_bool(0.7);
+  cfg.global_steal = rng.next_bool(0.7);
+  cfg.stop_level = 1 + static_cast<std::uint32_t>(rng.next_below(4));
+  cfg.detect_level = static_cast<std::uint32_t>(rng.next_below(3));
+  return cfg;
+}
+
+class EngineFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(EngineFuzz, AllEnginesAgree) {
+  Rng rng(0xf0220 + static_cast<std::uint64_t>(GetParam()) * 7919);
+  for (int trial = 0; trial < 6; ++trial) {
+    Graph g = random_graph(rng);
+    Pattern p = random_pattern(rng, 5);
+    const bool labeled = rng.next_bool(0.4);
+    if (labeled) {
+      const std::size_t num_labels = 2 + rng.next_below(3);
+      g = with_random_labels(g, num_labels, rng());
+      std::vector<Label> plabels(p.size());
+      for (auto& l : plabels) l = static_cast<Label>(rng.next_below(num_labels));
+      p = p.with_labels(plabels);
+    }
+    PlanOptions popts;
+    popts.induced = rng.next_bool(0.5) ? Induced::kEdge : Induced::kVertex;
+    popts.count_mode = rng.next_bool(0.3) ? CountMode::kUniqueSubgraphs
+                                          : CountMode::kEmbeddings;
+    popts.code_motion = rng.next_bool(0.8);
+    MatchingPlan plan(reorder_for_matching(p), popts);
+
+    const auto expected =
+        recursive_count_range(g, plan, 0, g.num_vertices());
+    EngineConfig cfg = random_config(rng);
+    const auto got = stmatch_match(g, plan, cfg);
+    ASSERT_EQ(got.count, expected)
+        << "pattern=" << p.to_string() << " graph n=" << g.num_vertices()
+        << " labeled=" << labeled
+        << " induced=" << (popts.induced == Induced::kVertex)
+        << " unroll=" << cfg.unroll << " blocks=" << cfg.device.num_blocks
+        << " wpb=" << cfg.device.warps_per_block
+        << " steal=" << cfg.local_steal << "/" << cfg.global_steal
+        << " stop=" << cfg.stop_level;
+  }
+}
+
+TEST_P(EngineFuzz, HostEngineAgrees) {
+  Rng rng(0xab5 + static_cast<std::uint64_t>(GetParam()) * 104729);
+  Graph g = random_graph(rng);
+  Pattern p = random_pattern(rng, 5);
+  MatchingPlan plan(reorder_for_matching(p), {});
+  HostEngineConfig cfg;
+  cfg.num_threads = 1 + rng.next_below(4);
+  cfg.chunk_size = 1 + static_cast<VertexId>(rng.next_below(9));
+  EXPECT_EQ(host_match(g, plan, cfg).count,
+            recursive_count_range(g, plan, 0, g.num_vertices()));
+}
+
+TEST_P(EngineFuzz, BaselineModelsAgree) {
+  Rng rng(0xba5e + static_cast<std::uint64_t>(GetParam()) * 31337);
+  Graph g = random_graph(rng);
+  Pattern p = random_pattern(rng, 5);
+  MatchingPlan plan(reorder_for_matching(p), {});
+  const auto expected = recursive_count_range(g, plan, 0, g.num_vertices());
+  EXPECT_EQ(dryadic_match(g, p).count, expected);
+  auto cuts = cuts_match(g, p);
+  if (!cuts.out_of_memory) {
+    EXPECT_EQ(cuts.count, expected);
+  }
+  auto gsi = gsi_match(g, p);
+  if (!gsi.out_of_memory) {
+    EXPECT_EQ(gsi.count, expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineFuzz, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace stm

@@ -1,0 +1,170 @@
+// Tests for the brute-force reference enumerator against closed-form counts.
+#include <gtest/gtest.h>
+
+#include "baselines/reference.hpp"
+#include "graph/generators.hpp"
+#include "graph/labeling.hpp"
+#include "pattern/queries.hpp"
+#include "pattern/symmetry.hpp"
+
+namespace stm {
+namespace {
+
+std::uint64_t falling_factorial(std::uint64_t n, std::uint64_t k) {
+  std::uint64_t r = 1;
+  for (std::uint64_t i = 0; i < k; ++i) r *= (n - i);
+  return r;
+}
+
+TEST(Reference, TriangleEmbeddingsInKn) {
+  // Embeddings of K3 in Kn = n(n-1)(n-2).
+  Pattern tri = Pattern::parse("0-1,1-2,2-0");
+  for (VertexId n : {3, 4, 5, 7}) {
+    EXPECT_EQ(reference_count(make_clique(n), tri), falling_factorial(n, 3));
+  }
+}
+
+TEST(Reference, UniqueTrianglesInKn) {
+  Pattern tri = Pattern::parse("0-1,1-2,2-0");
+  ReferenceOptions opts{Induced::kEdge, CountMode::kUniqueSubgraphs};
+  // C(n,3) triangles.
+  EXPECT_EQ(reference_count(make_clique(5), tri, opts), 10u);
+  EXPECT_EQ(reference_count(make_clique(7), tri, opts), 35u);
+}
+
+TEST(Reference, EdgeEmbeddings) {
+  Pattern edge = Pattern::parse("0-1");
+  Graph g = make_cycle(10);
+  EXPECT_EQ(reference_count(g, edge), 20u);  // 2 per undirected edge
+}
+
+TEST(Reference, PathInCycle) {
+  // P3 embeddings in C_n: each middle vertex gives 2 ordered ends.
+  Pattern p3 = Pattern::parse("0-1,1-2");
+  EXPECT_EQ(reference_count(make_cycle(8), p3), 16u);
+  // Vertex-induced: in a cycle (n>3) no P3's endpoints are adjacent except in
+  // C3; all 16 remain induced.
+  ReferenceOptions vopts{Induced::kVertex, CountMode::kEmbeddings};
+  EXPECT_EQ(reference_count(make_cycle(8), p3, vopts), 16u);
+  // In K3, P3 embeddings exist but none are vertex-induced.
+  EXPECT_EQ(reference_count(make_clique(3), p3), 6u);
+  EXPECT_EQ(reference_count(make_clique(3), p3, vopts), 0u);
+}
+
+TEST(Reference, StarInStar) {
+  // S3 (hub + 3 leaves) in S5 data star: hub must map to hub:
+  // 5*4*3 = 60 embeddings.
+  Pattern s3 = Pattern::parse("0-1,0-2,0-3");
+  EXPECT_EQ(reference_count(make_star(5), s3), 60u);
+  // Unique: C(5,3) = 10.
+  ReferenceOptions opts{Induced::kEdge, CountMode::kUniqueSubgraphs};
+  EXPECT_EQ(reference_count(make_star(5), s3, opts), 10u);
+}
+
+TEST(Reference, C4InCompleteBipartite) {
+  // 4-cycles in K_{a,b}: unique count = C(a,2)*C(b,2); embeddings = x8.
+  Pattern c4 = Pattern::parse("0-1,1-2,2-3,3-0");
+  Graph g = make_complete_bipartite(3, 4);
+  ReferenceOptions unique{Induced::kEdge, CountMode::kUniqueSubgraphs};
+  EXPECT_EQ(reference_count(g, c4, unique), 3u * 6u);
+  EXPECT_EQ(reference_count(g, c4), 8u * 18u);
+}
+
+TEST(Reference, K4InKn) {
+  Pattern k4 = Pattern::parse("0-1,0-2,0-3,1-2,1-3,2-3");
+  EXPECT_EQ(reference_count(make_clique(6), k4), falling_factorial(6, 4));
+  ReferenceOptions unique{Induced::kEdge, CountMode::kUniqueSubgraphs};
+  EXPECT_EQ(reference_count(make_clique(6), k4, unique), 15u);
+}
+
+TEST(Reference, SymmetryDividesEmbeddings) {
+  // unique == embeddings / |Aut| on arbitrary graphs.
+  Graph g = make_erdos_renyi(30, 0.3, 17);
+  for (int q : {1, 3, 4, 5, 8}) {
+    Pattern p = query(q);
+    const auto aut = automorphisms(p).size();
+    const auto embeddings = reference_count(g, p);
+    ReferenceOptions unique{Induced::kEdge, CountMode::kUniqueSubgraphs};
+    EXPECT_EQ(reference_count(g, p, unique), embeddings / aut) << query_name(q);
+    EXPECT_EQ(embeddings % aut, 0u) << query_name(q);
+  }
+}
+
+TEST(Reference, SymmetryDividesEmbeddingsVertexInduced) {
+  Graph g = make_erdos_renyi(25, 0.35, 23);
+  for (int q : {2, 3, 6}) {
+    Pattern p = query(q);
+    const auto aut = automorphisms(p).size();
+    ReferenceOptions emb{Induced::kVertex, CountMode::kEmbeddings};
+    ReferenceOptions unique{Induced::kVertex, CountMode::kUniqueSubgraphs};
+    const auto embeddings = reference_count(g, p, emb);
+    EXPECT_EQ(reference_count(g, p, unique), embeddings / aut) << query_name(q);
+  }
+}
+
+TEST(Reference, VertexInducedNeverExceedsEdgeInduced) {
+  Graph g = make_erdos_renyi(30, 0.25, 5);
+  for (int q : {1, 3, 9, 10}) {
+    ReferenceOptions vopts{Induced::kVertex, CountMode::kEmbeddings};
+    EXPECT_LE(reference_count(g, query(q), vopts),
+              reference_count(g, query(q)))
+        << query_name(q);
+  }
+}
+
+TEST(Reference, CliqueEdgeEqualsVertexInduced) {
+  // For cliques there are no pattern non-edges, so both semantics agree
+  // (paper: "for q8, q16 and q24 ... vertex-induced matching is the same").
+  Graph g = make_erdos_renyi(35, 0.4, 29);
+  ReferenceOptions vopts{Induced::kVertex, CountMode::kEmbeddings};
+  EXPECT_EQ(reference_count(g, query(8), vopts), reference_count(g, query(8)));
+}
+
+TEST(Reference, LabeledTriangle) {
+  // Labeled triangle on labeled K4: count embeddings whose labels line up.
+  Graph g = make_clique(4).with_labels({0, 0, 1, 1});
+  Pattern tri = Pattern::parse("0-1,1-2,2-0");
+  // Pattern labels (0,0,1): choose two label-0 vertices ordered (2 ways) and
+  // one label-1 vertex (2 ways) = 4 embeddings.
+  EXPECT_EQ(reference_count(g, tri.with_labels({0, 0, 1})), 4u);
+  // Impossible label: no label-2 vertices exist.
+  EXPECT_EQ(reference_count(g, tri.with_labels({0, 0, 2})), 0u);
+}
+
+TEST(Reference, LabeledCountsSumToUnlabeled) {
+  // Summing labeled-edge counts over all pattern labelings of an edge equals
+  // the unlabeled count.
+  Graph g = with_random_labels(make_erdos_renyi(40, 0.2, 3), 3, 7);
+  Pattern edge = Pattern::parse("0-1");
+  std::uint64_t total = 0;
+  for (Label a = 0; a < 3; ++a)
+    for (Label b = 0; b < 3; ++b)
+      total += reference_count(g, edge.with_labels({a, b}));
+  EXPECT_EQ(total, reference_count(g, edge));
+}
+
+TEST(Reference, EmptyGraphAndTooLargePattern) {
+  Graph empty = GraphBuilder(0).build();
+  EXPECT_EQ(reference_count(empty, Pattern::parse("0-1")), 0u);
+  // Pattern larger than the graph.
+  EXPECT_EQ(reference_count(make_clique(3), query(8)), 0u);
+}
+
+TEST(Reference, EmitReceivesValidEmbeddings) {
+  Graph g = make_cycle(6);
+  Pattern p3 = Pattern::parse("0-1,1-2");
+  std::size_t seen = 0;
+  auto count = reference_enumerate(
+      g, p3, {}, [&](const std::vector<VertexId>& m) {
+        ++seen;
+        EXPECT_EQ(m.size(), 3u);
+        // Reordered P3 has the middle vertex first.
+        EXPECT_TRUE(g.has_edge(m[0], m[1]));
+        EXPECT_NE(m[0], m[2]);
+      });
+  EXPECT_EQ(seen, count);
+  EXPECT_EQ(count, 12u);
+}
+
+}  // namespace
+}  // namespace stm

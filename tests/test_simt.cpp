@@ -1,0 +1,102 @@
+// Tests for the SIMT substrate: cost model arithmetic, device validation,
+// shared-memory accounting.
+#include <gtest/gtest.h>
+
+#include "simt/cost_model.hpp"
+#include "simt/device.hpp"
+#include "util/check.hpp"
+
+namespace stm {
+namespace {
+
+TEST(CostModel, SetOpCycles) {
+  CostModel cost;
+  WarpOpCost op;
+  op.waves = 3;
+  op.probe_cycles = 17;
+  EXPECT_EQ(cost.set_op_cycles(op), 3 * cost.wave_overhead + 17);
+}
+
+TEST(CostModel, CopyCyclesRoundUpToWaves) {
+  CostModel cost;
+  EXPECT_EQ(cost.shared_copy_cycles(0), 0u);
+  EXPECT_EQ(cost.shared_copy_cycles(1), cost.shared_copy_per_wave);
+  EXPECT_EQ(cost.shared_copy_cycles(32), cost.shared_copy_per_wave);
+  EXPECT_EQ(cost.shared_copy_cycles(33), 2 * cost.shared_copy_per_wave);
+  EXPECT_EQ(cost.global_copy_cycles(64), 2 * cost.global_copy_per_wave);
+}
+
+TEST(CostModel, GlobalTrafficDearerThanShared) {
+  CostModel cost;
+  EXPECT_GT(cost.global_copy_cycles(1024), cost.shared_copy_cycles(1024));
+}
+
+TEST(CostModel, MillisecondConversion) {
+  CostModel cost;
+  cost.clock_ghz = 2.0;
+  EXPECT_DOUBLE_EQ(cost.to_ms(2'000'000), 1.0);
+  EXPECT_DOUBLE_EQ(cost.to_ms(0), 0.0);
+}
+
+TEST(Device, ValidateAcceptsDefaults) {
+  DeviceConfig cfg;
+  EXPECT_NO_THROW(cfg.validate());
+  EXPECT_EQ(cfg.total_warps(), cfg.num_blocks * cfg.warps_per_block);
+}
+
+TEST(Device, ValidateRejectsDegenerate) {
+  DeviceConfig cfg;
+  cfg.num_blocks = 0;
+  EXPECT_THROW(cfg.validate(), check_error);
+  cfg = DeviceConfig{};
+  cfg.warps_per_block = 0;
+  EXPECT_THROW(cfg.validate(), check_error);
+  cfg = DeviceConfig{};
+  cfg.shared_mem_bytes = 16;
+  EXPECT_THROW(cfg.validate(), check_error);
+}
+
+TEST(Device, SharedBytesScaleWithNodesAndUnroll) {
+  const auto base = stmatch_shared_bytes_per_warp(5, 1, 5);
+  const auto more_nodes = stmatch_shared_bytes_per_warp(15, 1, 5);
+  const auto more_unroll = stmatch_shared_bytes_per_warp(5, 8, 5);
+  EXPECT_GT(more_nodes, base);
+  EXPECT_GT(more_unroll, base);
+  // Csize dominates: 2 bytes per node per column.
+  EXPECT_EQ(more_unroll - base, 2ull * 5 * 7);
+}
+
+TEST(Device, PaperScaleConfigurationFits) {
+  // Paper §VIII-A: NUM_SETS <= 15, UNROLL 8, queries up to 7 nodes must fit
+  // a 48 KB thread block with 8 resident warps.
+  const auto per_warp = stmatch_shared_bytes_per_warp(15, 8, 7);
+  DeviceConfig cfg;
+  EXPECT_LE(per_warp * cfg.warps_per_block, cfg.shared_mem_bytes);
+}
+
+TEST(WarpOpCostTest, UtilizationBounds) {
+  WarpOpCost c;
+  EXPECT_DOUBLE_EQ(c.utilization(), 1.0);  // vacuous
+  c.waves = 4;
+  c.busy_lane_slots = 4 * kWarpWidth;
+  EXPECT_DOUBLE_EQ(c.utilization(), 1.0);
+  c.busy_lane_slots = 2 * kWarpWidth;
+  EXPECT_DOUBLE_EQ(c.utilization(), 0.5);
+}
+
+TEST(WarpOpCostTest, Accumulation) {
+  WarpOpCost a, b;
+  a.waves = 2;
+  a.busy_lane_slots = 40;
+  a.probe_cycles = 10;
+  a.elements_written = 7;
+  b = a;
+  b += a;
+  EXPECT_EQ(b.waves, 4u);
+  EXPECT_EQ(b.busy_lane_slots, 80u);
+  EXPECT_EQ(b.probe_cycles, 20u);
+  EXPECT_EQ(b.elements_written, 14u);
+}
+
+}  // namespace
+}  // namespace stm
