@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_codemotion.dir/ablation_codemotion.cpp.o"
+  "CMakeFiles/ablation_codemotion.dir/ablation_codemotion.cpp.o.d"
+  "ablation_codemotion"
+  "ablation_codemotion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_codemotion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_multigpu.dir/fig11_multigpu.cpp.o"
+  "CMakeFiles/fig11_multigpu.dir/fig11_multigpu.cpp.o.d"
+  "fig11_multigpu"
+  "fig11_multigpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_multigpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2a_unlabeled_edge.dir/table2a_unlabeled_edge.cpp.o"
+  "CMakeFiles/table2a_unlabeled_edge.dir/table2a_unlabeled_edge.cpp.o.d"
+  "table2a_unlabeled_edge"
+  "table2a_unlabeled_edge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2a_unlabeled_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table2a_unlabeled_edge.
+# This may be replaced when dependencies are built.

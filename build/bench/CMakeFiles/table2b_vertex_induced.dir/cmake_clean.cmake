@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2b_vertex_induced.dir/table2b_vertex_induced.cpp.o"
+  "CMakeFiles/table2b_vertex_induced.dir/table2b_vertex_induced.cpp.o.d"
+  "table2b_vertex_induced"
+  "table2b_vertex_induced.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2b_vertex_induced.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

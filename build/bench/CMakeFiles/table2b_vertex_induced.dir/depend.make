@@ -1,0 +1,2 @@
+# Empty dependencies file for table2b_vertex_induced.
+# This may be replaced when dependencies are built.

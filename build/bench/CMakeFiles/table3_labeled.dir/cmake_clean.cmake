@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_labeled.dir/table3_labeled.cpp.o"
+  "CMakeFiles/table3_labeled.dir/table3_labeled.cpp.o.d"
+  "table3_labeled"
+  "table3_labeled.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_labeled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

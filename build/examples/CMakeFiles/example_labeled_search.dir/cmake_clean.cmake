@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_labeled_search.dir/labeled_search.cpp.o"
+  "CMakeFiles/example_labeled_search.dir/labeled_search.cpp.o.d"
+  "example_labeled_search"
+  "example_labeled_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_labeled_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_motif_census.dir/motif_census.cpp.o"
+  "CMakeFiles/example_motif_census.dir/motif_census.cpp.o.d"
+  "example_motif_census"
+  "example_motif_census.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_motif_census.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

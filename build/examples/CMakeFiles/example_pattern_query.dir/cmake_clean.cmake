@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_pattern_query.dir/pattern_query.cpp.o"
+  "CMakeFiles/example_pattern_query.dir/pattern_query.cpp.o.d"
+  "example_pattern_query"
+  "example_pattern_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_pattern_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

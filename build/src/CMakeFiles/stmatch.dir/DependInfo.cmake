@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/dryadic.cpp" "src/CMakeFiles/stmatch.dir/baselines/dryadic.cpp.o" "gcc" "src/CMakeFiles/stmatch.dir/baselines/dryadic.cpp.o.d"
+  "/root/repo/src/baselines/reference.cpp" "src/CMakeFiles/stmatch.dir/baselines/reference.cpp.o" "gcc" "src/CMakeFiles/stmatch.dir/baselines/reference.cpp.o.d"
+  "/root/repo/src/baselines/subgraph_centric.cpp" "src/CMakeFiles/stmatch.dir/baselines/subgraph_centric.cpp.o" "gcc" "src/CMakeFiles/stmatch.dir/baselines/subgraph_centric.cpp.o.d"
+  "/root/repo/src/core/engine.cpp" "src/CMakeFiles/stmatch.dir/core/engine.cpp.o" "gcc" "src/CMakeFiles/stmatch.dir/core/engine.cpp.o.d"
+  "/root/repo/src/core/host_engine.cpp" "src/CMakeFiles/stmatch.dir/core/host_engine.cpp.o" "gcc" "src/CMakeFiles/stmatch.dir/core/host_engine.cpp.o.d"
+  "/root/repo/src/core/multi_gpu.cpp" "src/CMakeFiles/stmatch.dir/core/multi_gpu.cpp.o" "gcc" "src/CMakeFiles/stmatch.dir/core/multi_gpu.cpp.o.d"
+  "/root/repo/src/core/recursive.cpp" "src/CMakeFiles/stmatch.dir/core/recursive.cpp.o" "gcc" "src/CMakeFiles/stmatch.dir/core/recursive.cpp.o.d"
+  "/root/repo/src/graph/components.cpp" "src/CMakeFiles/stmatch.dir/graph/components.cpp.o" "gcc" "src/CMakeFiles/stmatch.dir/graph/components.cpp.o.d"
+  "/root/repo/src/graph/datasets.cpp" "src/CMakeFiles/stmatch.dir/graph/datasets.cpp.o" "gcc" "src/CMakeFiles/stmatch.dir/graph/datasets.cpp.o.d"
+  "/root/repo/src/graph/degree_stats.cpp" "src/CMakeFiles/stmatch.dir/graph/degree_stats.cpp.o" "gcc" "src/CMakeFiles/stmatch.dir/graph/degree_stats.cpp.o.d"
+  "/root/repo/src/graph/edge_list.cpp" "src/CMakeFiles/stmatch.dir/graph/edge_list.cpp.o" "gcc" "src/CMakeFiles/stmatch.dir/graph/edge_list.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/CMakeFiles/stmatch.dir/graph/generators.cpp.o" "gcc" "src/CMakeFiles/stmatch.dir/graph/generators.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/CMakeFiles/stmatch.dir/graph/graph.cpp.o" "gcc" "src/CMakeFiles/stmatch.dir/graph/graph.cpp.o.d"
+  "/root/repo/src/graph/labeling.cpp" "src/CMakeFiles/stmatch.dir/graph/labeling.cpp.o" "gcc" "src/CMakeFiles/stmatch.dir/graph/labeling.cpp.o.d"
+  "/root/repo/src/graph/reorder.cpp" "src/CMakeFiles/stmatch.dir/graph/reorder.cpp.o" "gcc" "src/CMakeFiles/stmatch.dir/graph/reorder.cpp.o.d"
+  "/root/repo/src/pattern/matching_order.cpp" "src/CMakeFiles/stmatch.dir/pattern/matching_order.cpp.o" "gcc" "src/CMakeFiles/stmatch.dir/pattern/matching_order.cpp.o.d"
+  "/root/repo/src/pattern/motifs.cpp" "src/CMakeFiles/stmatch.dir/pattern/motifs.cpp.o" "gcc" "src/CMakeFiles/stmatch.dir/pattern/motifs.cpp.o.d"
+  "/root/repo/src/pattern/pattern.cpp" "src/CMakeFiles/stmatch.dir/pattern/pattern.cpp.o" "gcc" "src/CMakeFiles/stmatch.dir/pattern/pattern.cpp.o.d"
+  "/root/repo/src/pattern/plan.cpp" "src/CMakeFiles/stmatch.dir/pattern/plan.cpp.o" "gcc" "src/CMakeFiles/stmatch.dir/pattern/plan.cpp.o.d"
+  "/root/repo/src/pattern/queries.cpp" "src/CMakeFiles/stmatch.dir/pattern/queries.cpp.o" "gcc" "src/CMakeFiles/stmatch.dir/pattern/queries.cpp.o.d"
+  "/root/repo/src/pattern/symmetry.cpp" "src/CMakeFiles/stmatch.dir/pattern/symmetry.cpp.o" "gcc" "src/CMakeFiles/stmatch.dir/pattern/symmetry.cpp.o.d"
+  "/root/repo/src/setops/bitmap_index.cpp" "src/CMakeFiles/stmatch.dir/setops/bitmap_index.cpp.o" "gcc" "src/CMakeFiles/stmatch.dir/setops/bitmap_index.cpp.o.d"
+  "/root/repo/src/setops/multi_set_op.cpp" "src/CMakeFiles/stmatch.dir/setops/multi_set_op.cpp.o" "gcc" "src/CMakeFiles/stmatch.dir/setops/multi_set_op.cpp.o.d"
+  "/root/repo/src/setops/set_ops.cpp" "src/CMakeFiles/stmatch.dir/setops/set_ops.cpp.o" "gcc" "src/CMakeFiles/stmatch.dir/setops/set_ops.cpp.o.d"
+  "/root/repo/src/util/options.cpp" "src/CMakeFiles/stmatch.dir/util/options.cpp.o" "gcc" "src/CMakeFiles/stmatch.dir/util/options.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/stmatch.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/stmatch.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/stmatch.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/stmatch.dir/util/table.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "src/CMakeFiles/stmatch.dir/util/thread_pool.cpp.o" "gcc" "src/CMakeFiles/stmatch.dir/util/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

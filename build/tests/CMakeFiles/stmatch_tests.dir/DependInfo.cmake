@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_baselines.cpp" "tests/CMakeFiles/stmatch_tests.dir/test_baselines.cpp.o" "gcc" "tests/CMakeFiles/stmatch_tests.dir/test_baselines.cpp.o.d"
+  "/root/repo/tests/test_datasets_integration.cpp" "tests/CMakeFiles/stmatch_tests.dir/test_datasets_integration.cpp.o" "gcc" "tests/CMakeFiles/stmatch_tests.dir/test_datasets_integration.cpp.o.d"
+  "/root/repo/tests/test_engine.cpp" "tests/CMakeFiles/stmatch_tests.dir/test_engine.cpp.o" "gcc" "tests/CMakeFiles/stmatch_tests.dir/test_engine.cpp.o.d"
+  "/root/repo/tests/test_engine_fuzz.cpp" "tests/CMakeFiles/stmatch_tests.dir/test_engine_fuzz.cpp.o" "gcc" "tests/CMakeFiles/stmatch_tests.dir/test_engine_fuzz.cpp.o.d"
+  "/root/repo/tests/test_graph.cpp" "tests/CMakeFiles/stmatch_tests.dir/test_graph.cpp.o" "gcc" "tests/CMakeFiles/stmatch_tests.dir/test_graph.cpp.o.d"
+  "/root/repo/tests/test_graph_extras.cpp" "tests/CMakeFiles/stmatch_tests.dir/test_graph_extras.cpp.o" "gcc" "tests/CMakeFiles/stmatch_tests.dir/test_graph_extras.cpp.o.d"
+  "/root/repo/tests/test_identities.cpp" "tests/CMakeFiles/stmatch_tests.dir/test_identities.cpp.o" "gcc" "tests/CMakeFiles/stmatch_tests.dir/test_identities.cpp.o.d"
+  "/root/repo/tests/test_motifs.cpp" "tests/CMakeFiles/stmatch_tests.dir/test_motifs.cpp.o" "gcc" "tests/CMakeFiles/stmatch_tests.dir/test_motifs.cpp.o.d"
+  "/root/repo/tests/test_pattern.cpp" "tests/CMakeFiles/stmatch_tests.dir/test_pattern.cpp.o" "gcc" "tests/CMakeFiles/stmatch_tests.dir/test_pattern.cpp.o.d"
+  "/root/repo/tests/test_plan.cpp" "tests/CMakeFiles/stmatch_tests.dir/test_plan.cpp.o" "gcc" "tests/CMakeFiles/stmatch_tests.dir/test_plan.cpp.o.d"
+  "/root/repo/tests/test_reference.cpp" "tests/CMakeFiles/stmatch_tests.dir/test_reference.cpp.o" "gcc" "tests/CMakeFiles/stmatch_tests.dir/test_reference.cpp.o.d"
+  "/root/repo/tests/test_setops.cpp" "tests/CMakeFiles/stmatch_tests.dir/test_setops.cpp.o" "gcc" "tests/CMakeFiles/stmatch_tests.dir/test_setops.cpp.o.d"
+  "/root/repo/tests/test_simt.cpp" "tests/CMakeFiles/stmatch_tests.dir/test_simt.cpp.o" "gcc" "tests/CMakeFiles/stmatch_tests.dir/test_simt.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/stmatch_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/stmatch_tests.dir/test_util.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/stmatch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

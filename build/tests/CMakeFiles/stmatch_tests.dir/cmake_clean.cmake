@@ -1,0 +1,38 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stmatch_tests.dir/test_baselines.cpp.o"
+  "CMakeFiles/stmatch_tests.dir/test_baselines.cpp.o.d"
+  "CMakeFiles/stmatch_tests.dir/test_datasets_integration.cpp.o"
+  "CMakeFiles/stmatch_tests.dir/test_datasets_integration.cpp.o.d"
+  "CMakeFiles/stmatch_tests.dir/test_engine.cpp.o"
+  "CMakeFiles/stmatch_tests.dir/test_engine.cpp.o.d"
+  "CMakeFiles/stmatch_tests.dir/test_engine_fuzz.cpp.o"
+  "CMakeFiles/stmatch_tests.dir/test_engine_fuzz.cpp.o.d"
+  "CMakeFiles/stmatch_tests.dir/test_graph.cpp.o"
+  "CMakeFiles/stmatch_tests.dir/test_graph.cpp.o.d"
+  "CMakeFiles/stmatch_tests.dir/test_graph_extras.cpp.o"
+  "CMakeFiles/stmatch_tests.dir/test_graph_extras.cpp.o.d"
+  "CMakeFiles/stmatch_tests.dir/test_identities.cpp.o"
+  "CMakeFiles/stmatch_tests.dir/test_identities.cpp.o.d"
+  "CMakeFiles/stmatch_tests.dir/test_motifs.cpp.o"
+  "CMakeFiles/stmatch_tests.dir/test_motifs.cpp.o.d"
+  "CMakeFiles/stmatch_tests.dir/test_pattern.cpp.o"
+  "CMakeFiles/stmatch_tests.dir/test_pattern.cpp.o.d"
+  "CMakeFiles/stmatch_tests.dir/test_plan.cpp.o"
+  "CMakeFiles/stmatch_tests.dir/test_plan.cpp.o.d"
+  "CMakeFiles/stmatch_tests.dir/test_reference.cpp.o"
+  "CMakeFiles/stmatch_tests.dir/test_reference.cpp.o.d"
+  "CMakeFiles/stmatch_tests.dir/test_setops.cpp.o"
+  "CMakeFiles/stmatch_tests.dir/test_setops.cpp.o.d"
+  "CMakeFiles/stmatch_tests.dir/test_simt.cpp.o"
+  "CMakeFiles/stmatch_tests.dir/test_simt.cpp.o.d"
+  "CMakeFiles/stmatch_tests.dir/test_util.cpp.o"
+  "CMakeFiles/stmatch_tests.dir/test_util.cpp.o.d"
+  "stmatch_tests"
+  "stmatch_tests.pdb"
+  "stmatch_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stmatch_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
