@@ -96,6 +96,6 @@ int main(int argc, char** argv) {
   MatchingPlan plan(reorder_for_matching(incident), popts);
   HostMatchResult host = host_match(g, plan);
   std::printf("host-parallel run agrees: %llu matches in %.2f ms wall\n",
-              static_cast<unsigned long long>(host.count), host.wall_ms);
+              static_cast<unsigned long long>(host.count), host.stats.engine_ms);
   return host.count == sim.count ? 0 : 1;
 }

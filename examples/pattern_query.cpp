@@ -57,7 +57,7 @@ int main(int argc, char** argv) {
     if (opts.get_bool("host", false)) {
       HostMatchResult r = host_match(g, plan);
       std::printf("matches: %llu  (%.2f ms wall on host threads)\n",
-                  static_cast<unsigned long long>(r.count), r.wall_ms);
+                  static_cast<unsigned long long>(r.count), r.stats.engine_ms);
     } else {
       MatchResult r = stmatch_match(g, plan);
       std::printf("matches: %llu  (%.3f ms simulated, occupancy %.2f, lane "

@@ -71,6 +71,6 @@ int main(int argc, char** argv) {
 
   HostMatchResult host = host_match(g, plan);
   std::printf("host threads (real)          : %llu matches, %.2f ms wall\n",
-              static_cast<unsigned long long>(host.count), host.wall_ms);
+              static_cast<unsigned long long>(host.count), host.stats.engine_ms);
   return host.count == expected ? 0 : 1;
 }

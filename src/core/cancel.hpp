@@ -1,0 +1,96 @@
+// Cooperative cancellation and deadlines for engine runs.
+//
+// A CancelToken is shared between the issuer (service dispatcher, signal
+// handler, test) and the engine workers. Engines poll it at backtracking
+// steps; polling is two relaxed atomic loads on the fast path, with the
+// steady_clock read amortized over kPollStride polls, so tokens are cheap
+// enough to check inside the enumeration loop.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "core/query_stats.hpp"
+
+namespace stm {
+
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Clock reads are amortized: a poll only consults steady_clock every
+  /// kPollStride calls (per polling thread; see Poller below).
+  static constexpr std::uint32_t kPollStride = 256;
+
+  CancelToken() = default;
+
+  /// Arms the deadline `budget_ms` from now. Call before handing the token
+  /// to an engine.
+  void set_deadline_ms(double budget_ms) {
+    deadline_ns_.store(
+        (Clock::now().time_since_epoch() +
+         std::chrono::nanoseconds(static_cast<std::int64_t>(budget_ms * 1e6)))
+            .count(),
+        std::memory_order_relaxed);
+    has_deadline_.store(true, std::memory_order_release);
+  }
+
+  /// Explicit cancellation (e.g. client disconnect, shutdown).
+  void cancel() { cancelled_.store(true, std::memory_order_release); }
+
+  bool cancel_requested() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+  /// Unamortized check: has the token fired (cancel or deadline)?
+  bool expired() const {
+    if (cancel_requested()) return true;
+    if (!has_deadline_.load(std::memory_order_acquire)) return false;
+    return Clock::now().time_since_epoch().count() >=
+           deadline_ns_.load(std::memory_order_relaxed);
+  }
+
+  /// Why the token fired. Explicit cancellation wins over deadline expiry.
+  QueryStatus status() const {
+    return cancel_requested() ? QueryStatus::kCancelled
+                              : QueryStatus::kDeadlineExceeded;
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  std::atomic<bool> has_deadline_{false};
+  std::atomic<std::int64_t> deadline_ns_{0};
+};
+
+/// Per-thread polling helper: stride-amortized token check for hot loops.
+/// Each engine worker owns one Poller; `fired()` is safe to call per
+/// backtracking step.
+class CancelPoller {
+ public:
+  explicit CancelPoller(const CancelToken* token) : token_(token) {}
+
+  bool fired() {
+    if (token_ == nullptr) return false;
+    if (fired_) return true;
+    if (++calls_ % CancelToken::kPollStride != 0) return false;
+    fired_ = token_->expired();
+    return fired_;
+  }
+
+  /// Unamortized check, for coarse-grained call sites (chunk boundaries).
+  bool fired_now() {
+    if (token_ == nullptr) return false;
+    if (!fired_) fired_ = token_->expired();
+    return fired_;
+  }
+
+  const CancelToken* token() const { return token_; }
+
+ private:
+  const CancelToken* token_ = nullptr;
+  std::uint32_t calls_ = 0;
+  bool fired_ = false;
+};
+
+}  // namespace stm

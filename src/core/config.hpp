@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "core/query_stats.hpp"
 #include "graph/types.hpp"
 #include "simt/cost_model.hpp"
 #include "simt/device.hpp"
@@ -55,12 +56,28 @@ struct EngineStats {
   std::uint64_t stack_bytes = 0;
   /// Shared-memory bytes used per block.
   std::uint64_t shared_bytes_per_block = 0;
+  /// Candidate-set materializations executed.
+  std::uint64_t sets_built = 0;
+
+  /// The cross-engine view of these statistics (engine_ms is simulated
+  /// time; scalar_ops counts busy lane slots of warp set operations).
+  QueryStats to_query_stats() const {
+    QueryStats q;
+    q.engine_ms = sim_ms;
+    q.scalar_ops = set_ops.busy_lane_slots;
+    q.sets_built = sets_built;
+    return q;
+  }
 };
 
 /// Result of a matching run.
 struct MatchResult {
+  /// Match count; partial when query.status != kOk.
   std::uint64_t count = 0;
   EngineStats stats;
+  /// Unified per-query statistics shared with the host engine and the
+  /// service layer (status, engine_ms, scalar work).
+  QueryStats query;
 };
 
 }  // namespace stm

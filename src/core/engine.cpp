@@ -53,6 +53,7 @@ struct WarpState {
   std::array<std::vector<bool>, kMaxPatternSize> col_valid;
 
   WarpOpCost ops;
+  std::uint64_t sets_built = 0;
   std::uint64_t local_steals = 0;
   std::uint64_t global_steals = 0;
   std::uint64_t chunks = 0;
@@ -61,8 +62,9 @@ struct WarpState {
 
 class StackEngine {
  public:
-  StackEngine(const Graph& g, const MatchingPlan& plan, const EngineConfig& cfg)
-      : g_(g), plan_(plan), cfg_(cfg), k_(plan.size()) {
+  StackEngine(const Graph& g, const MatchingPlan& plan, const EngineConfig& cfg,
+              const CancelToken* cancel = nullptr)
+      : g_(g), plan_(plan), cfg_(cfg), poller_(cancel), k_(plan.size()) {
     cfg_.device.validate();
     STM_CHECK(cfg_.unroll >= 1 && cfg_.unroll <= kWarpWidth);
     STM_CHECK(cfg_.stop_level >= 1);
@@ -172,6 +174,7 @@ class StackEngine {
     const auto& nodes = plan_.nodes();
     for (std::int16_t id : plan_.nodes_at_entry(entry)) {
       const SetNode& node = nodes[static_cast<std::size_t>(id)];
+      ++w.sets_built;
       auto& cols = w.values[static_cast<std::size_t>(id)];
       const LabelFilter filter = filter_for(node.label_mask);
       // Operand vertex per column: the fresh choice if the op references
@@ -494,11 +497,13 @@ class StackEngine {
   const Graph& g_;
   const MatchingPlan& plan_;
   EngineConfig cfg_;
+  CancelPoller poller_;
   std::size_t k_;
   std::uint64_t shared_per_warp_ = 0;
 
   VertexId v_cursor_ = 0;
   VertexId v_end_ = 0;
+  bool interrupted_ = false;
   std::vector<WarpState> warps_;
   std::vector<std::optional<StackSnapshot>> slots_;
   std::vector<std::uint64_t> slot_clock_;
@@ -533,6 +538,13 @@ MatchResult StackEngine::run() {
   }
 
   while (!heap.empty()) {
+    // Cooperative interruption: deadlines are wall-clock even though engine
+    // time is simulated — a size-7 query on a skewed graph can run long in
+    // real time. Per-warp partial counts are still aggregated below.
+    if (poller_.fired()) {
+      interrupted_ = true;
+      break;
+    }
     auto [clock, id] = heap.top();
     heap.pop();
     WarpState& w = warps_[id];
@@ -564,6 +576,7 @@ MatchResult StackEngine::run() {
     stats_.makespan_cycles = std::max(stats_.makespan_cycles, w.clock);
     stats_.set_ops += w.ops;
     stats_.chunks_grabbed += w.chunks;
+    stats_.sets_built += w.sets_built;
   }
   stats_.makespan_cycles += cfg_.cost.kernel_launch;  // one launch total
   stats_.sim_ms = cfg_.cost.to_ms(stats_.makespan_cycles);
@@ -578,14 +591,16 @@ MatchResult StackEngine::run() {
                        plan_.num_nodes() * cfg_.unroll *
                        std::max<EdgeId>(g_.max_degree(), 1) * sizeof(VertexId);
   result.stats = stats_;
+  result.query = stats_.to_query_stats();
+  if (interrupted_) result.query.status = poller_.token()->status();
   return result;
 }
 
 }  // namespace
 
 MatchResult stmatch_match(const Graph& g, const MatchingPlan& plan,
-                          const EngineConfig& cfg) {
-  StackEngine engine(g, plan, cfg);
+                          const EngineConfig& cfg, const CancelToken* cancel) {
+  StackEngine engine(g, plan, cfg, cancel);
   return engine.run();
 }
 

@@ -9,6 +9,7 @@
 // from the MatchingPlan (§VII).
 #pragma once
 
+#include "core/cancel.hpp"
 #include "core/config.hpp"
 #include "graph/graph.hpp"
 #include "pattern/plan.hpp"
@@ -17,9 +18,13 @@ namespace stm {
 
 /// Runs the engine for `plan` (built from a reordered pattern) on `g`.
 /// Deterministic: the virtual-time warp scheduler makes every run, including
-/// all stealing decisions, bit-reproducible.
+/// all stealing decisions, bit-reproducible. A non-null `cancel` token is
+/// polled in the scheduler loop (wall-clock deadlines apply even though the
+/// engine's own time is simulated); when it fires, the run returns the
+/// partial count with query.status set.
 MatchResult stmatch_match(const Graph& g, const MatchingPlan& plan,
-                          const EngineConfig& cfg = {});
+                          const EngineConfig& cfg = {},
+                          const CancelToken* cancel = nullptr);
 
 /// Convenience wrapper: reorders `p` into matching order, compiles a plan,
 /// and runs the engine.

@@ -11,7 +11,8 @@
 namespace stm {
 
 HostMatchResult host_match(const Graph& g, const MatchingPlan& plan,
-                           const HostEngineConfig& cfg) {
+                           const HostEngineConfig& cfg,
+                           const CancelToken* cancel) {
   STM_CHECK(cfg.chunk_size >= 1);
   std::size_t threads = cfg.num_threads;
   if (threads == 0) {
@@ -19,6 +20,7 @@ HostMatchResult host_match(const Graph& g, const MatchingPlan& plan,
   }
   const VertexId n = g.num_vertices();
   std::atomic<VertexId> cursor{0};
+  std::atomic<bool> interrupted{false};
   std::vector<std::uint64_t> counts(threads, 0);
   std::vector<RecursiveCounters> counters(threads);
 
@@ -30,13 +32,22 @@ HostMatchResult host_match(const Graph& g, const MatchingPlan& plan,
       workers.emplace_back([&, t] {
         // Dynamic chunk claiming is the host-side analogue of the warp-level
         // chunk grabbing in the SIMT engine.
+        CancelPoller poller(cancel);
         for (;;) {
+          if (poller.fired_now()) {
+            // Fired while this worker still had the loop to run: the count
+            // is (potentially) partial. A token that only expires after the
+            // cursor is exhausted and all recursions returned never trips
+            // this, so complete runs stay kOk.
+            interrupted.store(true, std::memory_order_relaxed);
+            break;
+          }
           const VertexId begin =
               cursor.fetch_add(cfg.chunk_size, std::memory_order_relaxed);
           if (begin >= n) break;
           const VertexId end = std::min<VertexId>(n, begin + cfg.chunk_size);
-          counts[t] +=
-              recursive_count_range(g, plan, begin, end, &counters[t]);
+          counts[t] += recursive_count_range(g, plan, begin, end,
+                                             &counters[t], cancel);
         }
       });
     }
@@ -44,10 +55,14 @@ HostMatchResult host_match(const Graph& g, const MatchingPlan& plan,
   }
 
   HostMatchResult result;
-  result.wall_ms = timer.elapsed_ms();
+  result.stats.engine_ms = timer.elapsed_ms();
+  if (interrupted.load(std::memory_order_relaxed)) {
+    result.stats.status = cancel->status();
+  }
   for (std::size_t t = 0; t < threads; ++t) {
     result.count += counts[t];
-    result.scalar_ops += counters[t].scalar_ops;
+    result.stats.scalar_ops += counters[t].scalar_ops;
+    result.stats.sets_built += counters[t].sets_built;
   }
   return result;
 }

@@ -8,7 +8,9 @@
 
 #include <cstddef>
 
+#include "core/cancel.hpp"
 #include "core/config.hpp"
+#include "core/query_stats.hpp"
 #include "graph/graph.hpp"
 #include "pattern/plan.hpp"
 
@@ -22,15 +24,19 @@ struct HostEngineConfig {
 };
 
 struct HostMatchResult {
+  /// Match count; partial when stats.status != kOk.
   std::uint64_t count = 0;
-  /// Wall-clock milliseconds of the parallel section.
-  double wall_ms = 0.0;
-  /// Aggregate scalar set-operation work.
-  std::uint64_t scalar_ops = 0;
+  /// Unified per-query statistics (engine_ms = wall-clock of the parallel
+  /// section, scalar_ops = aggregate scalar set-operation work).
+  QueryStats stats;
 };
 
-/// Counts matches of the plan on real threads.
+/// Counts matches of the plan on real threads. A non-null `cancel` token is
+/// polled cooperatively by every worker; when it fires, the run returns
+/// early with the partial count and stats.status = kDeadlineExceeded /
+/// kCancelled.
 HostMatchResult host_match(const Graph& g, const MatchingPlan& plan,
-                           const HostEngineConfig& cfg = {});
+                           const HostEngineConfig& cfg = {},
+                           const CancelToken* cancel = nullptr);
 
 }  // namespace stm

@@ -11,8 +11,9 @@ namespace {
 
 class RecExec {
  public:
-  RecExec(const Graph& g, const MatchingPlan& plan, RecursiveCounters* c)
-      : g_(g), plan_(plan), counters_(c), k_(plan.size()) {
+  RecExec(const Graph& g, const MatchingPlan& plan, RecursiveCounters* c,
+          const CancelToken* cancel = nullptr)
+      : g_(g), plan_(plan), counters_(c), poller_(cancel), k_(plan.size()) {
     STM_CHECK_MSG(!plan_.pattern().is_labeled() || g_.is_labeled(),
                   "labeled pattern requires a labeled data graph");
     values_.resize(plan_.num_nodes());
@@ -168,6 +169,10 @@ class RecExec {
     // mat_level > l, so this level's candidate vector is never reallocated
     // underneath us.
     for (std::size_t idx = 0; idx < c.size() && !stopped_; ++idx) {
+      if (poller_.fired()) {
+        stopped_ = true;
+        break;
+      }
       const VertexId v = c[idx];
       if (!choice_ok(l, v)) continue;
       matched_[l] = v;
@@ -181,6 +186,7 @@ class RecExec {
   const Graph& g_;
   const MatchingPlan& plan_;
   RecursiveCounters* counters_;
+  CancelPoller poller_;
   std::size_t k_;
   std::vector<std::vector<VertexId>> values_;
   std::vector<VertexId> scratch_;
@@ -193,8 +199,9 @@ class RecExec {
 
 std::uint64_t recursive_count_range(const Graph& g, const MatchingPlan& plan,
                                     VertexId v_begin, VertexId v_end,
-                                    RecursiveCounters* counters) {
-  RecExec exec(g, plan, counters);
+                                    RecursiveCounters* counters,
+                                    const CancelToken* cancel) {
+  RecExec exec(g, plan, counters, cancel);
   return exec.run_range(v_begin, v_end);
 }
 

@@ -13,6 +13,7 @@
 #include <functional>
 #include <vector>
 
+#include "core/cancel.hpp"
 #include "graph/graph.hpp"
 #include "pattern/plan.hpp"
 
@@ -42,10 +43,14 @@ struct RecursiveCounters {
 };
 
 /// Executes the plan over outer-loop vertices [v_begin, v_end).
-/// Counters may be null.
+/// Counters may be null. A non-null `cancel` token is polled inside the
+/// enumeration; when it fires the partial count found so far is returned
+/// (the caller inspects the token to distinguish completion from
+/// interruption).
 std::uint64_t recursive_count_range(const Graph& g, const MatchingPlan& plan,
                                     VertexId v_begin, VertexId v_end,
-                                    RecursiveCounters* counters = nullptr);
+                                    RecursiveCounters* counters = nullptr,
+                                    const CancelToken* cancel = nullptr);
 
 /// Callback receiving one embedding: mapping[i] = data vertex matched to
 /// query vertex i (of the reordered pattern). Return false to stop the

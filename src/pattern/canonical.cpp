@@ -1,0 +1,99 @@
+#include "pattern/canonical.hpp"
+
+#include <array>
+#include <cstdint>
+
+#include "util/check.hpp"
+
+namespace stm {
+
+namespace {
+
+/// Per-position key of an ordering: the vertex's label and its adjacency
+/// bits into the already-placed prefix. Orderings are compared as the
+/// lexicographic sequence of these keys.
+struct PosKey {
+  std::uint8_t label = 0;
+  std::uint8_t adj_bits = 0;
+
+  auto operator<=>(const PosKey&) const = default;
+};
+
+class CanonicalSearch {
+ public:
+  explicit CanonicalSearch(const Pattern& p) : p_(p), n_(p.size()) {}
+
+  std::vector<std::size_t> run() {
+    STM_CHECK(n_ >= 1);
+    extend(0, /*tight=*/true);
+    return {best_perm_.begin(), best_perm_.begin() + n_};
+  }
+
+ private:
+  PosKey key_for(std::size_t v, std::size_t pos) const {
+    PosKey k;
+    k.label = p_.is_labeled() ? static_cast<std::uint8_t>(p_.label(v)) : 0;
+    for (std::size_t j = 0; j < pos; ++j)
+      if (p_.has_edge(v, perm_[j])) k.adj_bits |= std::uint8_t(1u << j);
+    return k;
+  }
+
+  bool better_than_best() const {
+    for (std::size_t i = 0; i < n_; ++i) {
+      if (enc_[i] < best_enc_[i]) return true;
+      if (best_enc_[i] < enc_[i]) return false;
+    }
+    return false;
+  }
+
+  /// Depth-first over orderings. `tight` = the key prefix placed so far
+  /// equals the best sequence's prefix (vacuously true before a first leaf
+  /// exists); only tight branches can prune. The incumbent is only ever
+  /// replaced by a descendant of every node on the DFS stack, so a true
+  /// `tight` stays valid across replacements; a stale false merely skips
+  /// pruning, and the full comparison at the leaf keeps the result exact.
+  void extend(std::size_t pos, bool tight) {
+    if (pos == n_) {
+      if (!have_best_ || better_than_best()) {
+        best_perm_ = perm_;
+        best_enc_ = enc_;
+        have_best_ = true;
+      }
+      return;
+    }
+    for (std::size_t v = 0; v < n_; ++v) {
+      if (used_ & (1u << v)) continue;
+      const PosKey k = key_for(v, pos);
+      if (tight && have_best_ && best_enc_[pos] < k) continue;
+      const bool child_tight =
+          tight && (!have_best_ || k == best_enc_[pos]);
+      perm_[pos] = v;
+      enc_[pos] = k;
+      used_ |= 1u << v;
+      extend(pos + 1, child_tight);
+      used_ &= ~(1u << v);
+    }
+  }
+
+  const Pattern& p_;
+  std::size_t n_;
+  std::uint32_t used_ = 0;
+  std::array<std::size_t, kMaxPatternSize> perm_{};
+  std::array<PosKey, kMaxPatternSize> enc_{};
+  std::array<std::size_t, kMaxPatternSize> best_perm_{};
+  std::array<PosKey, kMaxPatternSize> best_enc_{};
+  bool have_best_ = false;
+};
+
+}  // namespace
+
+std::vector<std::size_t> canonical_permutation(const Pattern& p) {
+  return CanonicalSearch(p).run();
+}
+
+std::string canonical_form(const Pattern& p) {
+  if (p.size() == 0) return "";
+  return p.relabeled(canonical_permutation(p)).to_string();
+}
+
+}  // namespace stm

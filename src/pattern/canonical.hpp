@@ -1,0 +1,27 @@
+// Canonical pattern form for plan-cache keys.
+//
+// Two patterns that differ only in vertex numbering compile to plans with
+// identical match counts, so the service-layer plan cache keys entries by a
+// renumbering-invariant canonical string: the lexicographically smallest
+// (label, adjacency-prefix) encoding over all vertex orderings, serialized
+// through Pattern::to_string(). Patterns have at most kMaxPatternSize (8)
+// vertices, so a pruned branch-and-bound over orderings is microseconds.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pattern/pattern.hpp"
+
+namespace stm {
+
+/// The canonical relabeling permutation of `p` (new vertex i = old vertex
+/// perm[i], as consumed by Pattern::relabeled).
+std::vector<std::size_t> canonical_permutation(const Pattern& p);
+
+/// Canonical edge-list string of `p`: equal for isomorphic patterns
+/// (including label-preserving isomorphism for labeled patterns), distinct
+/// otherwise.
+std::string canonical_form(const Pattern& p);
+
+}  // namespace stm

@@ -1,0 +1,165 @@
+#include "service/service.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/engine.hpp"
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace stm {
+
+struct GraphSession::QueryJob {
+  QueryRequest req;
+  std::promise<QueryResult> promise;
+  std::shared_ptr<CancelToken> token;
+  Timer since_submit;  // started at submission; queue wait + total latency
+};
+
+GraphSession::GraphSession(Graph graph, SessionConfig cfg)
+    : graph_(std::move(graph)),
+      cfg_(cfg),
+      plan_cache_(cfg.plan_cache_capacity),
+      queries_submitted_(metrics_.counter(
+          "queries_submitted", "Queries received (admitted + rejected)")),
+      queries_admitted_(
+          metrics_.counter("queries_admitted", "Queries accepted for execution")),
+      queries_rejected_(metrics_.counter(
+          "queries_rejected", "Queries shed at admission (overload)")),
+      queries_completed_(
+          metrics_.counter("queries_completed", "Queries finished with ok")),
+      queries_failed_(metrics_.counter(
+          "queries_failed",
+          "Queries finished non-ok (deadline, cancel, invalid)")),
+      matches_total_(
+          metrics_.counter("matches_total", "Embeddings counted across queries")),
+      engine_scalar_ops_(metrics_.counter(
+          "engine_scalar_ops", "Scalar set-operation work across queries")),
+      inflight_(metrics_.gauge("inflight_queries", "Queries executing now")),
+      queue_depth_(metrics_.gauge("queue_depth", "Queries waiting to start")),
+      cache_hit_rate_(metrics_.gauge("plan_cache_hit_rate",
+                                     "Fraction of plan lookups served cached")),
+      latency_ms_(metrics_.histogram("query_latency_ms",
+                                     "Submission-to-completion latency")),
+      queue_wait_ms_(metrics_.histogram("queue_wait_ms",
+                                        "Admission-to-execution wait")),
+      admission_(std::max<std::size_t>(1, cfg.max_concurrent_queries),
+                 cfg.max_queued_queries) {
+  STM_CHECK_MSG(graph_.num_vertices() > 0,
+                "GraphSession requires a non-empty graph");
+}
+
+GraphSession::~GraphSession() { drain(); }
+
+std::future<QueryResult> GraphSession::submit(QueryRequest req) {
+  queries_submitted_.inc();
+  auto job = std::make_shared<QueryJob>();
+  job->req = std::move(req);
+  job->token = std::make_shared<CancelToken>();
+  std::future<QueryResult> future = job->promise.get_future();
+
+  // The deadline covers the query's whole life, queue wait included: a
+  // request that waits past its budget is interrupted as soon as it starts.
+  double deadline = job->req.deadline_ms;
+  if (deadline == 0.0) deadline = cfg_.default_deadline_ms;
+  if (deadline > 0.0) job->token->set_deadline_ms(deadline);
+
+  {
+    std::lock_guard<std::mutex> lock(tokens_mu_);
+    active_tokens_.insert(job->token);
+  }
+
+  const bool admitted =
+      admission_.admit(job->req.priority, [this, job] { execute(*job); });
+  if (!admitted) {
+    queries_rejected_.inc();
+    {
+      std::lock_guard<std::mutex> lock(tokens_mu_);
+      active_tokens_.erase(job->token);
+    }
+    QueryResult rejected;
+    rejected.status = QueryStatus::kOverloaded;
+    rejected.stats.status = QueryStatus::kOverloaded;
+    rejected.total_ms = job->since_submit.elapsed_ms();
+    job->promise.set_value(std::move(rejected));
+    return future;
+  }
+  queries_admitted_.inc();
+  queue_depth_.set(static_cast<double>(admission_.queue_depth()));
+  return future;
+}
+
+QueryResult GraphSession::run(QueryRequest req) {
+  return submit(std::move(req)).get();
+}
+
+void GraphSession::drain() { admission_.drain(); }
+
+void GraphSession::cancel_all() {
+  std::lock_guard<std::mutex> lock(tokens_mu_);
+  for (const auto& token : active_tokens_) token->cancel();
+}
+
+QueryResult GraphSession::execute_engine(const QueryRequest& req,
+                                         const MatchingPlan& plan,
+                                         const CancelToken& token) {
+  QueryResult result;
+  if (req.engine == EngineKind::kSimt) {
+    MatchResult r = stmatch_match(graph_, plan, req.simt, &token);
+    result.count = r.count;
+    result.stats = r.query;
+    // Simulated engine time is not wall time; report wall latency fields
+    // from the service clocks below, but keep the engine's own view here.
+  } else {
+    HostEngineConfig host = req.host;
+    if (host.num_threads == 0) {
+      host.num_threads = std::max<std::size_t>(1, cfg_.host_threads_per_query);
+    }
+    HostMatchResult r = host_match(graph_, plan, host, &token);
+    result.count = r.count;
+    result.stats = r.stats;
+  }
+  result.status = result.stats.status;
+  return result;
+}
+
+void GraphSession::execute(QueryJob& job) {
+  QueryResult result;
+  const double queue_ms = job.since_submit.elapsed_ms();
+  queue_wait_ms_.observe(queue_ms);
+  queue_depth_.set(static_cast<double>(admission_.queue_depth()));
+  inflight_.add(1.0);
+
+  try {
+    bool cache_hit = false;
+    // Skip plan work for queries that died in the queue.
+    if (job.token->expired()) {
+      result.status = result.stats.status = job.token->status();
+    } else {
+      auto plan =
+          plan_cache_.get_or_compile(job.req.pattern, job.req.plan, &cache_hit);
+      result = execute_engine(job.req, *plan, *job.token);
+      result.plan_cache_hit = cache_hit;
+    }
+    cache_hit_rate_.set(plan_cache_.stats().hit_rate());
+  } catch (const check_error& e) {
+    result = QueryResult{};
+    result.status = result.stats.status = QueryStatus::kInvalidArgument;
+    result.error = e.what();
+  }
+
+  result.queue_ms = queue_ms;
+  result.total_ms = job.since_submit.elapsed_ms();
+  latency_ms_.observe(result.total_ms);
+  inflight_.add(-1.0);
+  (result.ok() ? queries_completed_ : queries_failed_).inc();
+  matches_total_.inc(result.count);
+  engine_scalar_ops_.inc(result.stats.scalar_ops);
+  {
+    std::lock_guard<std::mutex> lock(tokens_mu_);
+    active_tokens_.erase(job.token);
+  }
+  job.promise.set_value(std::move(result));
+}
+
+}  // namespace stm

@@ -1,0 +1,157 @@
+// GraphSession: the long-lived, multi-query serving core.
+//
+// A session owns one data graph plus everything derived from it that should
+// outlive a single query: a plan cache (matching order / symmetry / code
+// motion analysis done once per distinct pattern), an admission controller
+// (bounded concurrent execution, priority FIFO queueing, load shedding) and
+// a metrics registry (latency/queue-wait histograms, cache hit rate, engine
+// op counters — exportable as JSON and Prometheus text).
+//
+// Request lifecycle:
+//
+//   submit(req) ──► admission ──► [queue] ──► plan cache ──► engine ──► result
+//        │             │                          │             │        │
+//        │   kOverloaded when full        hit: reuse plan   CancelToken  │
+//        │             ▼                  miss: compile     (deadline)   ▼
+//        └──────► metrics ◄───────────────────────┴─────────────────► future
+//
+// Every query gets a CancelToken armed at submission; the engines poll it
+// cooperatively, so a query past its deadline returns kDeadlineExceeded with
+// the partial count instead of running unbounded.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_set>
+
+#include "core/cancel.hpp"
+#include "core/config.hpp"
+#include "core/host_engine.hpp"
+#include "core/query_stats.hpp"
+#include "graph/graph.hpp"
+#include "pattern/pattern.hpp"
+#include "service/admission.hpp"
+#include "service/metrics.hpp"
+#include "service/plan_cache.hpp"
+
+namespace stm {
+
+/// Which execution path serves the query.
+enum class EngineKind : std::uint8_t {
+  kHost,  // real threads (production CPU path)
+  kSimt,  // simulated-GPU STMatch engine
+};
+
+struct QueryRequest {
+  Pattern pattern;
+  PlanOptions plan;
+  EngineKind engine = EngineKind::kHost;
+  QueryPriority priority = QueryPriority::kNormal;
+  /// Wall-clock budget in ms, measured from submission (queue wait counts).
+  /// 0 uses the session default; < 0 means no deadline.
+  double deadline_ms = 0.0;
+  /// Host-path execution knobs (num_threads=0 is clamped to the session's
+  /// host_threads_per_query, not hardware concurrency — concurrency across
+  /// queries comes from the dispatcher).
+  HostEngineConfig host;
+  /// SIMT-path device configuration.
+  EngineConfig simt;
+};
+
+struct QueryResult {
+  QueryStatus status = QueryStatus::kOk;
+  /// Match count; partial when status is kDeadlineExceeded/kCancelled.
+  std::uint64_t count = 0;
+  /// Engine-side statistics (status mirrored into stats.status).
+  QueryStats stats;
+  bool plan_cache_hit = false;
+  /// Milliseconds spent queued before execution started.
+  double queue_ms = 0.0;
+  /// Submission-to-completion wall clock, ms.
+  double total_ms = 0.0;
+  /// Human-readable detail for kInvalidArgument.
+  std::string error;
+
+  bool ok() const { return status == QueryStatus::kOk; }
+};
+
+struct SessionConfig {
+  /// Queries executing concurrently (dispatcher workers).
+  std::size_t max_concurrent_queries = 4;
+  /// Queries waiting beyond the concurrent ones before kOverloaded.
+  std::size_t max_queued_queries = 32;
+  std::size_t plan_cache_capacity = 64;
+  /// Default per-query wall-clock budget (ms); 0 = unlimited.
+  double default_deadline_ms = 0.0;
+  /// Engine threads each host-path query runs on.
+  std::size_t host_threads_per_query = 1;
+};
+
+class GraphSession {
+ public:
+  explicit GraphSession(Graph graph, SessionConfig cfg = {});
+  ~GraphSession();
+
+  GraphSession(const GraphSession&) = delete;
+  GraphSession& operator=(const GraphSession&) = delete;
+
+  const Graph& graph() const { return graph_; }
+  const SessionConfig& config() const { return cfg_; }
+
+  /// Asynchronous entry point. The future is always fulfilled — with
+  /// kOverloaded immediately when admission rejects, with the query result
+  /// otherwise.
+  std::future<QueryResult> submit(QueryRequest req);
+
+  /// Synchronous convenience wrapper: submit + wait.
+  QueryResult run(QueryRequest req);
+
+  /// Blocks until every submitted query has completed.
+  void drain();
+
+  /// Cancels every queued and running query (they complete with
+  /// kCancelled). New submissions are unaffected.
+  void cancel_all();
+
+  PlanCache& plan_cache() { return plan_cache_; }
+  MetricsRegistry& metrics() { return metrics_; }
+
+ private:
+  struct QueryJob;
+
+  void execute(QueryJob& job);
+  QueryResult execute_engine(const QueryRequest& req, const MatchingPlan& plan,
+                             const CancelToken& token);
+
+  Graph graph_;
+  SessionConfig cfg_;
+  PlanCache plan_cache_;
+  MetricsRegistry metrics_;
+
+  std::mutex tokens_mu_;
+  std::unordered_set<std::shared_ptr<CancelToken>> active_tokens_;
+
+  // Cached metric handles (registry entries have stable addresses).
+  Counter& queries_submitted_;
+  Counter& queries_admitted_;
+  Counter& queries_rejected_;
+  Counter& queries_completed_;
+  Counter& queries_failed_;
+  Counter& matches_total_;
+  Counter& engine_scalar_ops_;
+  Gauge& inflight_;
+  Gauge& queue_depth_;
+  Gauge& cache_hit_rate_;
+  Histogram& latency_ms_;
+  Histogram& queue_wait_ms_;
+
+  // Declared last: its worker threads touch the members above, and members
+  // destruct in reverse order, so the pool drains before anything it uses
+  // goes away.
+  AdmissionController admission_;
+};
+
+}  // namespace stm

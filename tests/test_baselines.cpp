@@ -106,8 +106,8 @@ TEST(HostEngine, MatchesReference) {
     cfg.num_threads = 4;
     auto result = host_match(g, plan, cfg);
     EXPECT_EQ(result.count, reference_count(g, query(q))) << query_name(q);
-    EXPECT_GT(result.scalar_ops, 0u);
-    EXPECT_GE(result.wall_ms, 0.0);
+    EXPECT_GT(result.stats.scalar_ops, 0u);
+    EXPECT_GE(result.stats.engine_ms, 0.0);
   }
 }
 

@@ -1,0 +1,84 @@
+// Tests for the canonical pattern form behind the plan-cache key.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "pattern/canonical.hpp"
+#include "pattern/queries.hpp"
+#include "util/rng.hpp"
+
+namespace stm {
+namespace {
+
+std::vector<std::size_t> random_perm(std::size_t n, Rng& rng) {
+  std::vector<std::size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  std::shuffle(perm.begin(), perm.end(), rng);
+  return perm;
+}
+
+TEST(Canonical, InvariantUnderRenumbering) {
+  Rng rng(2024);
+  for (int q = 1; q <= num_queries(); ++q) {
+    const Pattern p = query(q);
+    const std::string canon = canonical_form(p);
+    for (int trial = 0; trial < 8; ++trial) {
+      const Pattern shuffled = p.relabeled(random_perm(p.size(), rng));
+      EXPECT_EQ(canonical_form(shuffled), canon)
+          << query_name(q) << " trial " << trial;
+    }
+  }
+}
+
+TEST(Canonical, LabeledInvariantUnderRenumbering) {
+  Rng rng(7);
+  for (int q : {1, 9, 17, 24}) {
+    const Pattern p = labeled_query(q, 3);
+    const std::string canon = canonical_form(p);
+    for (int trial = 0; trial < 8; ++trial) {
+      const Pattern shuffled = p.relabeled(random_perm(p.size(), rng));
+      EXPECT_EQ(canonical_form(shuffled), canon) << query_name(q);
+    }
+  }
+}
+
+TEST(Canonical, DistinguishesNonIsomorphicQueries) {
+  // The 24 evaluation queries are pairwise non-isomorphic, so their
+  // canonical forms must all differ.
+  std::set<std::string> forms;
+  for (int q = 1; q <= num_queries(); ++q)
+    forms.insert(canonical_form(query(q)));
+  EXPECT_EQ(forms.size(), static_cast<std::size_t>(num_queries()));
+}
+
+TEST(Canonical, LabelsDistinguish) {
+  const Pattern path = Pattern::parse("0-1,1-2");
+  const Pattern lab_a = path.with_labels({0, 1, 0});
+  const Pattern lab_b = path.with_labels({1, 0, 1});
+  const Pattern lab_a_flipped = path.with_labels({0, 1, 0}).relabeled({2, 1, 0});
+  EXPECT_NE(canonical_form(lab_a), canonical_form(path));
+  EXPECT_NE(canonical_form(lab_a), canonical_form(lab_b));
+  EXPECT_EQ(canonical_form(lab_a), canonical_form(lab_a_flipped));
+}
+
+TEST(Canonical, PermutationIsValid) {
+  const Pattern p = query(19);
+  const auto perm = canonical_permutation(p);
+  ASSERT_EQ(perm.size(), p.size());
+  std::set<std::size_t> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), p.size());  // a bijection
+  // Relabeling by the canonical permutation reproduces the canonical form.
+  EXPECT_EQ(p.relabeled(perm).to_string(), canonical_form(p));
+}
+
+TEST(Canonical, SingleVertexAndEdge) {
+  EXPECT_EQ(canonical_form(Pattern(1, {})), Pattern(1, {}).to_string());
+  const Pattern edge = Pattern::parse("0-1");
+  EXPECT_EQ(canonical_form(edge), canonical_form(edge.relabeled({1, 0})));
+}
+
+}  // namespace
+}  // namespace stm
