@@ -15,6 +15,7 @@ struct RefState {
   std::vector<VertexId> matched;
   std::uint64_t count = 0;
   const std::function<void(const std::vector<VertexId>&)>* emit = nullptr;
+  CancelPoller poller;
 
   bool acceptable(std::size_t level, VertexId v) const {
     if (p.is_labeled() && g.label(v) != p.label(level)) return false;
@@ -34,6 +35,7 @@ struct RefState {
   }
 
   void recurse(std::size_t level) {
+    if (poller.fired()) return;
     if (level == p.size()) {
       ++count;
       if (emit != nullptr) (*emit)(matched);
@@ -41,6 +43,7 @@ struct RefState {
     }
     if (level == 0) {
       for (VertexId v = 0; v < g.num_vertices(); ++v) {
+        if (poller.fired()) return;
         if (!acceptable(0, v)) continue;
         matched.push_back(v);
         recurse(1);
@@ -70,8 +73,10 @@ struct RefState {
 
 std::uint64_t reference_enumerate(
     const Graph& g, const Pattern& p, const ReferenceOptions& opts,
-    const std::function<void(const std::vector<VertexId>&)>& emit) {
-  RefState state{g, reorder_for_matching(p), opts, {}, {}, 0, nullptr};
+    const std::function<void(const std::vector<VertexId>&)>& emit,
+    const CancelToken* cancel) {
+  RefState state{g,  reorder_for_matching(p), opts, {}, {}, 0, nullptr,
+                 CancelPoller(cancel)};
   if (opts.count_mode == CountMode::kUniqueSubgraphs)
     state.constraints = symmetry_breaking_constraints(state.p);
   if (emit) state.emit = &emit;
@@ -81,8 +86,9 @@ std::uint64_t reference_enumerate(
 }
 
 std::uint64_t reference_count(const Graph& g, const Pattern& p,
-                              const ReferenceOptions& opts) {
-  return reference_enumerate(g, p, opts, nullptr);
+                              const ReferenceOptions& opts,
+                              const CancelToken* cancel) {
+  return reference_enumerate(g, p, opts, nullptr, cancel);
 }
 
 }  // namespace stm

@@ -10,6 +10,7 @@
 #include <functional>
 #include <vector>
 
+#include "core/cancel.hpp"
 #include "graph/graph.hpp"
 #include "pattern/pattern.hpp"
 #include "pattern/plan.hpp"
@@ -22,14 +23,18 @@ struct ReferenceOptions {
 };
 
 /// Counts matches of `p` in `g`. The pattern may be in any order; it is
-/// internally reordered to a connected matching order.
+/// internally reordered to a connected matching order. A non-null `cancel`
+/// token is polled cooperatively; when it fires the partial count so far is
+/// returned (callers detect this via the token's status).
 std::uint64_t reference_count(const Graph& g, const Pattern& p,
-                              const ReferenceOptions& opts = {});
+                              const ReferenceOptions& opts = {},
+                              const CancelToken* cancel = nullptr);
 
 /// Enumerates matches, invoking `emit` with the mapping (query vertex i of
 /// the *reordered* pattern -> data vertex). Returns the count.
 std::uint64_t reference_enumerate(
     const Graph& g, const Pattern& p, const ReferenceOptions& opts,
-    const std::function<void(const std::vector<VertexId>&)>& emit);
+    const std::function<void(const std::vector<VertexId>&)>& emit,
+    const CancelToken* cancel = nullptr);
 
 }  // namespace stm

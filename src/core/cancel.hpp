@@ -37,10 +37,33 @@ class CancelToken {
   }
 
   /// Explicit cancellation (e.g. client disconnect, shutdown).
-  void cancel() { cancelled_.store(true, std::memory_order_release); }
+  void cancel() { fail(QueryStatus::kCancelled); }
+
+  /// Force-fails the token with an explicit terminal reason (e.g. the
+  /// progress watchdog fires kInternalError on a stalled query). The first
+  /// recorded reason wins; engines observe it through status().
+  void fail(QueryStatus reason) {
+    std::uint8_t expected = 0;
+    reason_.compare_exchange_strong(expected,
+                                    static_cast<std::uint8_t>(reason),
+                                    std::memory_order_acq_rel);
+    cancelled_.store(true, std::memory_order_release);
+  }
 
   bool cancel_requested() const {
     return cancelled_.load(std::memory_order_acquire);
+  }
+
+  /// Monotonic liveness counter published by the engines (bumped at chunk
+  /// completions and poll strides). The watchdog samples it; a token whose
+  /// progress stops advancing while its query runs is presumed hung.
+  /// Const (and progress_ mutable): engines poll through a const token —
+  /// the heartbeat is observational, not a cancellation-state change.
+  void report_progress(std::uint64_t delta = 1) const {
+    progress_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t progress() const {
+    return progress_.load(std::memory_order_relaxed);
   }
 
   /// Unamortized check: has the token fired (cancel or deadline)?
@@ -51,16 +74,21 @@ class CancelToken {
            deadline_ns_.load(std::memory_order_relaxed);
   }
 
-  /// Why the token fired. Explicit cancellation wins over deadline expiry.
+  /// Why the token fired. An explicit reason (cancel / watchdog failure)
+  /// wins over deadline expiry.
   QueryStatus status() const {
-    return cancel_requested() ? QueryStatus::kCancelled
-                              : QueryStatus::kDeadlineExceeded;
+    const auto reason = reason_.load(std::memory_order_acquire);
+    if (reason != 0) return static_cast<QueryStatus>(reason);
+    return QueryStatus::kDeadlineExceeded;
   }
 
  private:
   std::atomic<bool> cancelled_{false};
   std::atomic<bool> has_deadline_{false};
   std::atomic<std::int64_t> deadline_ns_{0};
+  /// First terminal reason recorded via fail(); 0 (== kOk) means unset.
+  std::atomic<std::uint8_t> reason_{0};
+  mutable std::atomic<std::uint64_t> progress_{0};
 };
 
 /// Per-thread polling helper: stride-amortized token check for hot loops.
@@ -74,6 +102,7 @@ class CancelPoller {
     if (token_ == nullptr) return false;
     if (fired_) return true;
     if (++calls_ % CancelToken::kPollStride != 0) return false;
+    token_->report_progress();  // liveness heartbeat for the watchdog
     fired_ = token_->expired();
     return fired_;
   }
@@ -81,6 +110,7 @@ class CancelPoller {
   /// Unamortized check, for coarse-grained call sites (chunk boundaries).
   bool fired_now() {
     if (token_ == nullptr) return false;
+    token_->report_progress();
     if (!fired_) fired_ = token_->expired();
     return fired_;
   }

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "core/fault.hpp"
 #include "core/query_stats.hpp"
 #include "graph/types.hpp"
 #include "simt/cost_model.hpp"
@@ -35,6 +36,10 @@ struct EngineConfig {
   /// Step between outer-loop vertices: device d of D takes v_begin = d,
   /// v_stride = D for a skew-balanced interleaved division of V.
   VertexId v_stride = 1;
+  /// Deterministic fault-injection schedule (all sites off by default).
+  /// Sites interpreted here: kWarpAbort, kSlabAlloc, kStealLoss,
+  /// kEngineThrow; multi-device runs additionally honor kDeviceFail.
+  FaultConfig fault;
 };
 
 /// Execution statistics of one engine run.
@@ -58,6 +63,11 @@ struct EngineStats {
   std::uint64_t shared_bytes_per_block = 0;
   /// Candidate-set materializations executed.
   std::uint64_t sets_built = 0;
+  /// Chaos accounting: injected faults, recovery units re-adopted, and
+  /// whether the run failed because a unit exhausted its retry budget.
+  std::uint64_t faults_injected = 0;
+  std::uint64_t units_recovered = 0;
+  bool recovery_exhausted = false;
 
   /// The cross-engine view of these statistics (engine_ms is simulated
   /// time; scalar_ops counts busy lane slots of warp set operations).
@@ -66,6 +76,8 @@ struct EngineStats {
     q.engine_ms = sim_ms;
     q.scalar_ops = set_ops.busy_lane_slots;
     q.sets_built = sets_built;
+    q.faults_injected = faults_injected;
+    q.units_recovered = units_recovered;
     return q;
   }
 };

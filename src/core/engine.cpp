@@ -1,9 +1,11 @@
 #include "core/engine.hpp"
 
 #include <algorithm>
+#include <deque>
 #include <optional>
 #include <queue>
 
+#include "core/fault.hpp"
 #include "pattern/matching_order.hpp"
 #include "setops/multi_set_op.hpp"
 #include "util/check.hpp"
@@ -25,6 +27,34 @@ struct StackSnapshot {
   /// that are used by sets after target_level").
   std::vector<std::pair<std::int16_t, std::vector<VertexId>>> node_values;
   std::uint64_t elements = 0;  // copy-cost basis
+};
+
+/// A failed warp's entire stack frame, captured before the failing step
+/// mutated it. Restoring it into an idle warp resumes the enumeration at
+/// exactly the interrupted step: completed subtrees are not redone and the
+/// dead warp's already-committed count is kept, so recovery is exact.
+struct FullFrame {
+  int level = 0;
+  std::vector<VertexId> c0;
+  std::vector<std::vector<std::vector<VertexId>>> values;
+  std::array<std::int64_t, kMaxPatternSize> iter{};
+  std::array<std::int64_t, kMaxPatternSize> limit{};
+  std::array<std::int32_t, kMaxPatternSize> ucol{};
+  std::array<std::int32_t, kMaxPatternSize> num_cols{};
+  std::array<VertexId, kMaxPatternSize> matched{};
+  std::array<std::vector<VertexId>, kMaxPatternSize> col_choice;
+  std::array<std::vector<bool>, kMaxPatternSize> col_valid;
+  std::uint64_t elements = 0;  // copy-cost basis
+};
+
+/// Work lost to an injected fault, queued for re-execution: either a full
+/// frame (warp abort, slab-allocation failure) or a migrating steal snapshot
+/// lost in transit. Carries the lineage's failure count; exceeding the
+/// per-unit budget fails the whole run with kInternalError.
+struct RecoveryUnit {
+  std::uint32_t attempts = 0;
+  std::optional<FullFrame> frame;
+  std::optional<StackSnapshot> split;
 };
 
 struct WarpState {
@@ -58,6 +88,11 @@ struct WarpState {
   std::uint64_t global_steals = 0;
   std::uint64_t chunks = 0;
   std::uint32_t push_throttle = 0;
+  /// Active steps executed; key basis for fault-injection decisions.
+  std::uint64_t steps = 0;
+  /// Failures accumulated by the work lineage this warp is running (nonzero
+  /// only after adopting a recovery unit).
+  std::uint32_t unit_attempts = 0;
 };
 
 class StackEngine {
@@ -90,6 +125,10 @@ class StackEngine {
                  ? (range_end - cfg_.v_begin + cfg_.v_stride - 1) /
                        cfg_.v_stride
                  : 0;
+    if (cfg_.fault.enabled()) {
+      STM_CHECK(cfg_.fault.max_unit_attempts >= 1);
+      injector_.emplace(cfg_.fault);
+    }
     build_carry_sets();
   }
 
@@ -303,6 +342,7 @@ class StackEngine {
     w.limit[0] = static_cast<std::int64_t>(w.c0.size());
     w.level = 0;
     ++w.chunks;
+    w.unit_attempts = 0;  // fresh work, fresh failure budget
     charge(w, cfg_.cost.global_copy_cycles(end - begin));
     return true;
   }
@@ -371,6 +411,89 @@ class StackEngine {
     w.idle = false;
   }
 
+  // --- fault injection and recovery ---------------------------------------
+  FullFrame capture_frame(const WarpState& w) const {
+    FullFrame f;
+    f.level = w.level;
+    f.c0 = w.c0;
+    f.values = w.values;
+    f.iter = w.iter;
+    f.limit = w.limit;
+    f.ucol = w.ucol;
+    f.num_cols = w.num_cols;
+    f.matched = w.matched;
+    f.col_choice = w.col_choice;
+    f.col_valid = w.col_valid;
+    f.elements += f.c0.size();
+    for (const auto& node : f.values)
+      for (const auto& col : node) f.elements += col.size();
+    return f;
+  }
+
+  void restore_frame(WarpState& w, const FullFrame& f) {
+    w.level = f.level;
+    w.c0 = f.c0;
+    w.values = f.values;
+    w.iter = f.iter;
+    w.limit = f.limit;
+    w.ucol = f.ucol;
+    w.num_cols = f.num_cols;
+    w.matched = f.matched;
+    w.col_choice = f.col_choice;
+    w.col_valid = f.col_valid;
+    w.idle = false;
+  }
+
+  /// An injected fault killed this warp's current step: its frame (captured
+  /// before the step mutated anything) is re-enqueued for another warp, and
+  /// the warp itself restarts with a clean stack. The committed count stays
+  /// with the warp, so nothing is double-counted or lost.
+  void abort_warp(WarpState& w) {
+    ++stats_.faults_injected;
+    const std::uint32_t attempts = w.unit_attempts + 1;
+    if (attempts >= cfg_.fault.max_unit_attempts) {
+      recovery_exhausted_ = true;
+      return;
+    }
+    RecoveryUnit unit;
+    unit.attempts = attempts;
+    unit.frame.emplace(capture_frame(w));
+    recovery_.push_back(std::move(unit));
+    w.level = -1;
+    w.unit_attempts = 0;
+    charge(w, cfg_.cost.idle_poll);  // warp-restart penalty
+  }
+
+  /// A migrating steal snapshot was lost in transit: park it in the recovery
+  /// queue (the recovery path itself is modeled as reliable) instead of
+  /// handing it to the thief. Exactness holds because the victim already
+  /// relinquished the split range.
+  void lose_snapshot(StackSnapshot snap) {
+    ++stats_.faults_injected;
+    RecoveryUnit unit;
+    unit.attempts = 1;
+    unit.split.emplace(std::move(snap));
+    recovery_.push_back(std::move(unit));
+  }
+
+  bool try_adopt_recovery(WarpState& w) {
+    if (recovery_.empty()) return false;
+    RecoveryUnit unit = std::move(recovery_.front());
+    recovery_.pop_front();
+    std::uint64_t elements = 0;
+    if (unit.frame.has_value()) {
+      restore_frame(w, *unit.frame);
+      elements = unit.frame->elements;
+    } else {
+      adopt(w, *unit.split);
+      elements = unit.split->elements;
+    }
+    w.unit_attempts = unit.attempts;
+    ++stats_.units_recovered;
+    charge(w, cfg_.cost.global_copy_cycles(elements));
+    return true;
+  }
+
   /// Pull-based steal within the thread block (paper §V-A).
   bool try_local_steal(WarpState& thief) {
     charge(thief, cfg_.cost.steal_scan);
@@ -395,7 +518,14 @@ class StackEngine {
     if (best == nullptr) return false;
     const int t = split_level(*best);
     StackSnapshot snap = split_stack(*best, static_cast<std::size_t>(t));
+    if (injector_.has_value() &&
+        injector_->should_fail(FaultSite::kStealLoss, steal_seq_++)) {
+      lose_snapshot(std::move(snap));
+      charge(thief, cfg_.cost.steal_scan);
+      return false;
+    }
     adopt(thief, snap);
+    thief.unit_attempts = 0;
     const auto copy = cfg_.cost.shared_copy_cycles(snap.elements);
     // The thief cannot start before the victim's stack reached this state.
     thief.clock = std::max(thief.clock, best->clock);
@@ -421,6 +551,11 @@ class StackEngine {
       if (idle_count_[b] != cfg_.device.warps_per_block) continue;
       StackSnapshot snap = split_stack(w, static_cast<std::size_t>(t));
       charge(w, cfg_.cost.global_copy_cycles(snap.elements));
+      if (injector_.has_value() &&
+          injector_->should_fail(FaultSite::kStealLoss, steal_seq_++)) {
+        lose_snapshot(std::move(snap));
+        return;
+      }
       slot_clock_[b] = w.clock;
       slots_[b] = std::move(snap);
       ++w.global_steals;
@@ -430,6 +565,9 @@ class StackEngine {
   }
 
   void acquire_work(WarpState& w) {
+    // Lost work first: units in the recovery queue block global termination,
+    // so draining them before grabbing fresh chunks bounds their latency.
+    if (try_adopt_recovery(w)) return;
     if (grab_chunk(w)) return;
     if (cfg_.local_steal && try_local_steal(w)) return;
     // Go idle: mark the bitmap and spin (paper Fig. 6 steps 1-2).
@@ -449,6 +587,10 @@ class StackEngine {
       adopt(w, snap);
       --idle_count_[w.block];
       charge(w, cfg_.cost.global_copy_cycles(snap.elements));
+      return;
+    }
+    if (try_adopt_recovery(w)) {
+      --idle_count_[w.block];
       return;
     }
     // Retry a local steal: a sibling may have refilled.
@@ -471,6 +613,31 @@ class StackEngine {
     if (w.level < 0) {
       acquire_work(w);
       return;
+    }
+    if (injector_.has_value()) {
+      // Decisions are keyed by (warp id, active-step ordinal): stable under
+      // the deterministic virtual-time schedule, so the same seed aborts the
+      // same steps every run. Checked before the step mutates anything, so
+      // the captured frame resumes exactly here.
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(w.id) << 40) | w.steps;
+      ++w.steps;
+      if (injector_->should_fail(FaultSite::kWarpAbort, key)) {
+        abort_warp(w);
+        return;
+      }
+      const auto lvl = static_cast<std::size_t>(w.level);
+      const bool will_materialize = w.iter[lvl] < w.limit[lvl];
+      if (will_materialize &&
+          injector_->should_fail(FaultSite::kSlabAlloc, key)) {
+        abort_warp(w);
+        return;
+      }
+      // The step will execute: any earlier failure of this lineage was
+      // transient, so its retry budget resets. The budget therefore bounds
+      // consecutive no-progress failures (persistent faults still fail
+      // closed), not total transient faults over a unit's lifetime.
+      w.unit_attempts = 0;
     }
     maybe_push_global(w);
     charge(w, cfg_.cost.stack_step);
@@ -510,6 +677,10 @@ class StackEngine {
   std::vector<std::uint32_t> idle_count_;
   std::vector<std::vector<std::int16_t>> carry_;
   EngineStats stats_;
+  std::optional<FaultInjector> injector_;
+  std::deque<RecoveryUnit> recovery_;
+  std::uint64_t steal_seq_ = 0;  // key basis for in-transit loss decisions
+  bool recovery_exhausted_ = false;
 };
 
 MatchResult StackEngine::run() {
@@ -545,6 +716,10 @@ MatchResult StackEngine::run() {
       interrupted_ = true;
       break;
     }
+    // A recovery unit exceeded its retry budget: the run cannot guarantee an
+    // exact count any more, so fail fast and let the service retry the whole
+    // query or fall back to another engine.
+    if (recovery_exhausted_) break;
     auto [clock, id] = heap.top();
     heap.pop();
     WarpState& w = warps_[id];
@@ -558,7 +733,7 @@ MatchResult StackEngine::run() {
       bool any_running = false;
       for (const auto& other : warps_)
         any_running |= (!other.done && !other.idle);
-      bool any_pending = false;
+      bool any_pending = !recovery_.empty();
       for (const auto& slot : slots_) any_pending |= slot.has_value();
       if (!any_running && !any_pending) {
         w.done = true;
@@ -590,9 +765,14 @@ MatchResult StackEngine::run() {
   stats_.stack_bytes = static_cast<std::uint64_t>(total_warps) *
                        plan_.num_nodes() * cfg_.unroll *
                        std::max<EdgeId>(g_.max_degree(), 1) * sizeof(VertexId);
+  stats_.recovery_exhausted = recovery_exhausted_;
   result.stats = stats_;
   result.query = stats_.to_query_stats();
-  if (interrupted_) result.query.status = poller_.token()->status();
+  if (recovery_exhausted_) {
+    result.query.status = QueryStatus::kInternalError;
+  } else if (interrupted_) {
+    result.query.status = poller_.token()->status();
+  }
   return result;
 }
 
@@ -600,6 +780,14 @@ MatchResult StackEngine::run() {
 
 MatchResult stmatch_match(const Graph& g, const MatchingPlan& plan,
                           const EngineConfig& cfg, const CancelToken* cancel) {
+  if (cfg.fault.enabled()) {
+    // Whole-engine-call failure: thrown (not returned) so the service layer's
+    // exception boundary and fallback chain are exercised end to end.
+    FaultInjector probe(cfg.fault);
+    if (probe.should_fail(FaultSite::kEngineThrow, 0)) {
+      throw FaultInjectedError("injected fault: SIMT engine call failed");
+    }
+  }
   StackEngine engine(g, plan, cfg, cancel);
   return engine.run();
 }

@@ -1,6 +1,9 @@
 #include "core/host_engine.hpp"
 
 #include <atomic>
+#include <deque>
+#include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -10,10 +13,31 @@
 
 namespace stm {
 
+namespace {
+
+/// A chunk whose task failed: its partial count was discarded, so re-running
+/// it from scratch keeps the total exact. `attempts` counts failures of this
+/// unit; decisions are keyed by (begin, attempts), so a retry can succeed.
+struct RetryChunk {
+  VertexId begin = 0;
+  VertexId end = 0;
+  std::uint32_t attempts = 0;
+};
+
+}  // namespace
+
 HostMatchResult host_match(const Graph& g, const MatchingPlan& plan,
                            const HostEngineConfig& cfg,
                            const CancelToken* cancel) {
   STM_CHECK(cfg.chunk_size >= 1);
+  std::optional<FaultInjector> injector;
+  if (cfg.fault.enabled()) {
+    STM_CHECK(cfg.fault.max_unit_attempts >= 1);
+    injector.emplace(cfg.fault);
+    if (injector->should_fail(FaultSite::kEngineThrow, 0)) {
+      throw FaultInjectedError("injected fault: host engine call failed");
+    }
+  }
   std::size_t threads = cfg.num_threads;
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -21,8 +45,16 @@ HostMatchResult host_match(const Graph& g, const MatchingPlan& plan,
   const VertexId n = g.num_vertices();
   std::atomic<VertexId> cursor{0};
   std::atomic<bool> interrupted{false};
+  std::atomic<bool> budget_exhausted{false};
+  std::atomic<std::size_t> active_chunks{0};
+  std::atomic<std::uint64_t> units_recovered{0};
   std::vector<std::uint64_t> counts(threads, 0);
   std::vector<RecursiveCounters> counters(threads);
+
+  // Failed chunks waiting for re-execution. Only touched on the chaos path;
+  // the fault-free fast path never takes the lock.
+  std::mutex retry_mu;
+  std::deque<RetryChunk> retry;
 
   Timer timer;
   {
@@ -42,12 +74,60 @@ HostMatchResult host_match(const Graph& g, const MatchingPlan& plan,
             interrupted.store(true, std::memory_order_relaxed);
             break;
           }
-          const VertexId begin =
-              cursor.fetch_add(cfg.chunk_size, std::memory_order_relaxed);
-          if (begin >= n) break;
-          const VertexId end = std::min<VertexId>(n, begin + cfg.chunk_size);
-          counts[t] += recursive_count_range(g, plan, begin, end,
-                                             &counters[t], cancel);
+          if (budget_exhausted.load(std::memory_order_relaxed)) break;
+          RetryChunk chunk;
+          bool have = false;
+          if (injector.has_value()) {
+            std::lock_guard<std::mutex> lock(retry_mu);
+            if (!retry.empty()) {
+              chunk = retry.front();
+              retry.pop_front();
+              have = true;
+            }
+          }
+          if (!have) {
+            const VertexId begin =
+                cursor.fetch_add(cfg.chunk_size, std::memory_order_relaxed);
+            if (begin < n) {
+              chunk = {begin, std::min<VertexId>(n, begin + cfg.chunk_size), 0};
+              have = true;
+            }
+          }
+          if (!have) {
+            if (!injector.has_value()) break;
+            // Chunks still in flight elsewhere may fail and feed the retry
+            // queue; spin until everything is settled.
+            if (active_chunks.load(std::memory_order_acquire) == 0) {
+              std::lock_guard<std::mutex> lock(retry_mu);
+              if (retry.empty()) break;
+            }
+            std::this_thread::yield();
+            continue;
+          }
+          active_chunks.fetch_add(1, std::memory_order_acq_rel);
+          const std::uint64_t found = recursive_count_range(
+              g, plan, chunk.begin, chunk.end, &counters[t], cancel);
+          if (injector.has_value() &&
+              injector->should_fail(
+                  FaultSite::kHostTask,
+                  (static_cast<std::uint64_t>(chunk.begin) << 16) |
+                      chunk.attempts)) {
+            // The task died mid-chunk: its partial count is discarded and the
+            // whole chunk re-enqueued, so the final total stays exact.
+            const std::uint32_t attempts = chunk.attempts + 1;
+            if (attempts >= cfg.fault.max_unit_attempts) {
+              budget_exhausted.store(true, std::memory_order_relaxed);
+            } else {
+              std::lock_guard<std::mutex> lock(retry_mu);
+              retry.push_back({chunk.begin, chunk.end, attempts});
+            }
+          } else {
+            counts[t] += found;
+            if (chunk.attempts > 0)
+              units_recovered.fetch_add(1, std::memory_order_relaxed);
+          }
+          active_chunks.fetch_sub(1, std::memory_order_acq_rel);
+          if (cancel != nullptr) cancel->report_progress();
         }
       });
     }
@@ -56,13 +136,20 @@ HostMatchResult host_match(const Graph& g, const MatchingPlan& plan,
 
   HostMatchResult result;
   result.stats.engine_ms = timer.elapsed_ms();
-  if (interrupted.load(std::memory_order_relaxed)) {
+  if (budget_exhausted.load(std::memory_order_relaxed)) {
+    result.stats.status = QueryStatus::kInternalError;
+  } else if (interrupted.load(std::memory_order_relaxed)) {
     result.stats.status = cancel->status();
   }
   for (std::size_t t = 0; t < threads; ++t) {
     result.count += counts[t];
     result.stats.scalar_ops += counters[t].scalar_ops;
     result.stats.sets_built += counters[t].sets_built;
+  }
+  if (injector.has_value()) {
+    result.stats.faults_injected = injector->total_injected();
+    result.stats.units_recovered =
+        units_recovered.load(std::memory_order_relaxed);
   }
   return result;
 }

@@ -10,6 +10,7 @@
 
 #include "core/cancel.hpp"
 #include "core/config.hpp"
+#include "core/fault.hpp"
 #include "core/query_stats.hpp"
 #include "graph/graph.hpp"
 #include "pattern/plan.hpp"
@@ -21,6 +22,11 @@ struct HostEngineConfig {
   std::size_t num_threads = 0;
   /// Outer-loop vertices claimed per work grab.
   VertexId chunk_size = 16;
+  /// Deterministic fault-injection schedule (off by default). Sites
+  /// interpreted here: kHostTask (a chunk's partial work is discarded and
+  /// the chunk re-enqueued, bounded by max_unit_attempts) and kEngineThrow
+  /// (the host_match call itself throws FaultInjectedError).
+  FaultConfig fault;
 };
 
 struct HostMatchResult {

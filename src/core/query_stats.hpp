@@ -15,13 +15,17 @@ namespace stm {
 /// kCancelled (cooperative interruption with partial results); the service
 /// layer adds kOverloaded (rejected at admission, never executed) and
 /// kInvalidArgument (a precondition check_error from plan compilation or the
-/// engine, reported instead of propagated).
+/// engine, reported instead of propagated). kInternalError marks execution
+/// failures: a fault-injected run whose recovery budget is exhausted, an
+/// exception escaping an engine call, or a watchdog-killed stalled query —
+/// all of which the service may retry or serve via the fallback chain.
 enum class QueryStatus : std::uint8_t {
   kOk,
   kDeadlineExceeded,
   kCancelled,
   kOverloaded,
   kInvalidArgument,
+  kInternalError,
 };
 
 inline const char* to_string(QueryStatus s) {
@@ -31,6 +35,7 @@ inline const char* to_string(QueryStatus s) {
     case QueryStatus::kCancelled: return "cancelled";
     case QueryStatus::kOverloaded: return "overloaded";
     case QueryStatus::kInvalidArgument: return "invalid_argument";
+    case QueryStatus::kInternalError: return "internal_error";
   }
   return "unknown";
 }
@@ -50,6 +55,11 @@ struct QueryStats {
   std::uint64_t scalar_ops = 0;
   /// Candidate sets materialized.
   std::uint64_t sets_built = 0;
+  /// Fault-injection decisions that fired during the run (0 without chaos).
+  std::uint64_t faults_injected = 0;
+  /// Recovery units (failed chunks / captured warp frames / device slices)
+  /// re-enqueued and brought to completion without losing their work.
+  std::uint64_t units_recovered = 0;
 
   QueryStats& operator+=(const QueryStats& o) {
     if (o.status != QueryStatus::kOk && status == QueryStatus::kOk)
@@ -57,6 +67,8 @@ struct QueryStats {
     engine_ms += o.engine_ms;
     scalar_ops += o.scalar_ops;
     sets_built += o.sets_built;
+    faults_injected += o.faults_injected;
+    units_recovered += o.units_recovered;
     return *this;
   }
 };

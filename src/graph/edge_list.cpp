@@ -7,6 +7,31 @@
 
 namespace stm {
 
+namespace {
+
+/// Strict decimal vertex-id parser. `operator>>` into an integer would
+/// accept junk like "12abc" (stopping at 'a') or silently saturate huge
+/// values; corrupt input must fail loudly instead of building a wrong graph.
+VertexId parse_vertex_id(const std::string& token, std::size_t line_no) {
+  STM_CHECK_MSG(token.front() != '-',
+                "edge list line " << line_no << ": negative vertex id '"
+                                  << token << "'");
+  std::uint64_t value = 0;
+  for (char c : token) {
+    STM_CHECK_MSG(c >= '0' && c <= '9', "edge list line "
+                                            << line_no
+                                            << ": expected a vertex id, got '"
+                                            << token << "'");
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+    STM_CHECK_MSG(value < kMaxVertices, "edge list line "
+                                            << line_no << ": vertex id '"
+                                            << token << "' out of range");
+  }
+  return static_cast<VertexId>(value);
+}
+
+}  // namespace
+
 Graph read_edge_list(std::istream& in) {
   GraphBuilder builder;
   std::string line;
@@ -16,14 +41,12 @@ Graph read_edge_list(std::istream& in) {
     auto hash = line.find('#');
     if (hash != std::string::npos) line = line.substr(0, hash);
     std::istringstream ls(line);
-    long long u, v;
-    if (!(ls >> u)) continue;  // blank/comment line
-    STM_CHECK_MSG(static_cast<bool>(ls >> v),
+    std::string tok_u, tok_v, extra;
+    if (!(ls >> tok_u)) continue;  // blank/comment line
+    STM_CHECK_MSG(static_cast<bool>(ls >> tok_v),
                   "edge list line " << line_no << ": expected two vertex ids");
-    STM_CHECK_MSG(u >= 0 && v >= 0,
-                  "edge list line " << line_no << ": negative vertex id");
-    builder.add_edge(static_cast<VertexId>(u), static_cast<VertexId>(v));
-    long long extra;
+    builder.add_edge(parse_vertex_id(tok_u, line_no),
+                     parse_vertex_id(tok_v, line_no));
     STM_CHECK_MSG(!(ls >> extra),
                   "edge list line " << line_no << ": trailing tokens");
   }

@@ -10,10 +10,16 @@ Graph::Graph(std::vector<EdgeId> row_ptr, std::vector<VertexId> col_idx,
       col_idx_(std::move(col_idx)),
       labels_(std::move(labels)) {
   STM_CHECK_MSG(!row_ptr_.empty(), "CSR row_ptr must have n+1 entries");
+  STM_CHECK_MSG(row_ptr_.size() <= static_cast<std::size_t>(kMaxVertices) + 1,
+                "CSR has more than kMaxVertices vertices");
   STM_CHECK(row_ptr_.front() == 0);
   STM_CHECK(row_ptr_.back() == col_idx_.size());
   const VertexId n = num_vertices();
   STM_CHECK(labels_.empty() || labels_.size() == n);
+  for (Label l : labels_) {
+    STM_CHECK_MSG(static_cast<std::size_t>(l) < kMaxLabels,
+                  "vertex label out of range [0, " << kMaxLabels << ")");
+  }
   for (VertexId v = 0; v < n; ++v) {
     STM_CHECK_MSG(row_ptr_[v] <= row_ptr_[v + 1], "row_ptr must be monotone");
     for (EdgeId e = row_ptr_[v]; e + 1 < row_ptr_[v + 1]; ++e) {
@@ -52,12 +58,21 @@ Graph Graph::with_labels(std::vector<Label> labels) const {
 }
 
 void GraphBuilder::add_edge(VertexId u, VertexId v) {
+  // Bounds-check before `id + 1`: a corrupt id near the VertexId maximum
+  // would otherwise wrap n_ around to 0 and build a graph that silently
+  // drops the edge's endpoints.
+  STM_CHECK_MSG(u < kMaxVertices && v < kMaxVertices,
+                "vertex id out of range [0, " << kMaxVertices << ")");
   if (u == v) return;
   n_ = std::max({n_, u + 1, v + 1});
   edges_.emplace_back(std::min(u, v), std::max(u, v));
 }
 
-void GraphBuilder::set_num_vertices(VertexId n) { n_ = std::max(n_, n); }
+void GraphBuilder::set_num_vertices(VertexId n) {
+  STM_CHECK_MSG(n <= kMaxVertices,
+                "vertex count out of range [0, " << kMaxVertices << "]");
+  n_ = std::max(n_, n);
+}
 
 Graph GraphBuilder::build() {
   std::sort(edges_.begin(), edges_.end());

@@ -16,6 +16,12 @@ using Label = std::uint8_t;
 /// Maximum number of distinct labels (label masks are 64-bit).
 inline constexpr std::size_t kMaxLabels = 64;
 
+/// Maximum data-graph size accepted by builders and parsers. Leaves headroom
+/// below the VertexId range so `id + 1` and CSR sizes never overflow, and
+/// turns corrupt input (e.g. a stray timestamp parsed as a vertex id) into a
+/// clear kInvalidArgument instead of an allocation of astronomical size.
+inline constexpr VertexId kMaxVertices = 1u << 30;
+
 /// Maximum query-pattern size. The paper evaluates up to 7 vertices; 8 keeps
 /// pattern adjacency in a single byte row.
 inline constexpr std::size_t kMaxPatternSize = 8;

@@ -28,6 +28,30 @@ Pattern::Pattern(std::size_t n, const std::vector<std::pair<int, int>>& edges,
   }
 }
 
+namespace {
+
+/// Strict parser for one endpoint of a 'u-v' token. std::stoi would throw
+/// raw std::invalid_argument / std::out_of_range (not check_error) on junk
+/// like "a-b", "1-" or absurdly long digit runs; callers expect every parse
+/// failure as kInvalidArgument.
+int parse_pattern_vertex(const std::string& text, const std::string& token) {
+  STM_CHECK_MSG(!text.empty(),
+                "pattern edge '" << token << "' must be 'u-v'");
+  int value = 0;
+  for (char c : text) {
+    STM_CHECK_MSG(c >= '0' && c <= '9', "pattern vertex '"
+                                            << text << "' in edge '" << token
+                                            << "' is not a number");
+    value = value * 10 + (c - '0');
+    STM_CHECK_MSG(static_cast<std::size_t>(value) < kMaxPatternSize,
+                  "pattern vertex " << text << " out of range [0, "
+                                    << kMaxPatternSize << ")");
+  }
+  return value;
+}
+
+}  // namespace
+
 Pattern Pattern::parse(const std::string& edge_list) {
   std::vector<std::pair<int, int>> edges;
   int max_vertex = -1;
@@ -37,8 +61,8 @@ Pattern Pattern::parse(const std::string& edge_list) {
     auto dash = token.find('-');
     STM_CHECK_MSG(dash != std::string::npos,
                   "pattern edge '" << token << "' must be 'u-v'");
-    int u = std::stoi(token.substr(0, dash));
-    int v = std::stoi(token.substr(dash + 1));
+    int u = parse_pattern_vertex(token.substr(0, dash), token);
+    int v = parse_pattern_vertex(token.substr(dash + 1), token);
     edges.emplace_back(u, v);
     max_vertex = std::max({max_vertex, u, v});
   }

@@ -42,6 +42,12 @@ class AdmissionController {
   /// Jobs currently executing.
   std::size_t inflight() const;
 
+  /// Forwards to ThreadPool::set_fault_injection (chaos at kPoolTask:
+  /// bounded dispatcher-task requeue; no admitted job is ever lost).
+  void set_fault_injection(FaultInjector* injector, std::uint32_t max_requeues) {
+    pool_.set_fault_injection(injector, max_requeues);
+  }
+
  private:
   /// Runs the highest-priority pending job; one pump task is submitted to
   /// the pool per admitted job, so the pool's worker count bounds

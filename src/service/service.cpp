@@ -1,13 +1,54 @@
 #include "service/service.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 #include <utility>
+#include <vector>
 
+#include "baselines/reference.hpp"
 #include "core/engine.hpp"
 #include "util/check.hpp"
 #include "util/timer.hpp"
 
 namespace stm {
+
+const char* to_string(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kSimt:
+      return "simt";
+    case EngineKind::kHost:
+      return "host";
+    case EngineKind::kReference:
+      return "reference";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Degradation order per requested engine. The chain starts with the
+/// requested engine itself; every later entry trades performance for
+/// independence from the failing machinery (the reference enumerator shares
+/// no candidate-set code with either optimized engine).
+std::vector<EngineKind> fallback_chain(EngineKind requested, bool fallback) {
+  std::vector<EngineKind> chain{requested};
+  if (!fallback) return chain;
+  switch (requested) {
+    case EngineKind::kSimt:
+      chain.push_back(EngineKind::kHost);
+      chain.push_back(EngineKind::kReference);
+      break;
+    case EngineKind::kHost:
+      chain.push_back(EngineKind::kReference);
+      break;
+    case EngineKind::kReference:
+      break;
+  }
+  return chain;
+}
+
+}  // namespace
 
 struct GraphSession::QueryJob {
   QueryRequest req;
@@ -30,7 +71,21 @@ GraphSession::GraphSession(Graph graph, SessionConfig cfg)
           metrics_.counter("queries_completed", "Queries finished with ok")),
       queries_failed_(metrics_.counter(
           "queries_failed",
-          "Queries finished non-ok (deadline, cancel, invalid)")),
+          "Queries finished non-ok (deadline, cancel, invalid, internal)")),
+      queries_degraded_(metrics_.counter(
+          "queries_degraded", "Queries served by a fallback engine")),
+      engine_retries_(metrics_.counter(
+          "engine_retries", "Engine calls re-issued after kInternalError")),
+      engine_fallbacks_(metrics_.counter(
+          "engine_fallbacks", "Fallback-chain hops past the requested engine")),
+      breaker_skips_(metrics_.counter(
+          "breaker_skips", "Engine calls skipped by an open circuit breaker")),
+      watchdog_kills_(metrics_.counter(
+          "watchdog_kills", "Queries force-failed for stalled progress")),
+      faults_injected_total_(metrics_.counter(
+          "faults_injected_total", "Injected faults observed across queries")),
+      recovery_units_total_(metrics_.counter(
+          "recovery_units_total", "Work units recovered after injected faults")),
       matches_total_(
           metrics_.counter("matches_total", "Embeddings counted across queries")),
       engine_scalar_ops_(metrics_.counter(
@@ -43,13 +98,31 @@ GraphSession::GraphSession(Graph graph, SessionConfig cfg)
                                      "Submission-to-completion latency")),
       queue_wait_ms_(metrics_.histogram("queue_wait_ms",
                                         "Admission-to-execution wait")),
+      watchdog_(cfg.resilience.watchdog_stall_ms, cfg.resilience.watchdog_poll_ms,
+                &watchdog_kills_),
       admission_(std::max<std::size_t>(1, cfg.max_concurrent_queries),
                  cfg.max_queued_queries) {
   STM_CHECK_MSG(graph_.num_vertices() > 0,
                 "GraphSession requires a non-empty graph");
+  for (std::size_t k = 0; k < kNumEngineKinds; ++k) {
+    breakers_[k] = CircuitBreaker(cfg_.resilience.breaker);
+    breaker_state_gauges_[k] = &metrics_.gauge(
+        std::string("breaker_state_") + to_string(static_cast<EngineKind>(k)),
+        "Circuit state (0=closed, 1=open, 2=half-open)");
+  }
+  if (cfg_.resilience.pool_fault.enabled()) {
+    STM_CHECK(cfg_.resilience.pool_fault.max_unit_attempts >= 1);
+    pool_injector_.emplace(cfg_.resilience.pool_fault);
+    admission_.set_fault_injection(&*pool_injector_,
+                                   cfg_.resilience.pool_fault.max_unit_attempts);
+  }
 }
 
-GraphSession::~GraphSession() { drain(); }
+GraphSession::~GraphSession() {
+  drain();
+  // Workers are done; detach the pool from the injector before it dies.
+  if (pool_injector_.has_value()) admission_.set_fault_injection(nullptr, 0);
+}
 
 std::future<QueryResult> GraphSession::submit(QueryRequest req) {
   queries_submitted_.inc();
@@ -80,6 +153,12 @@ std::future<QueryResult> GraphSession::submit(QueryRequest req) {
     QueryResult rejected;
     rejected.status = QueryStatus::kOverloaded;
     rejected.stats.status = QueryStatus::kOverloaded;
+    rejected.served_by = job->req.engine;
+    rejected.attempts = 0;
+    rejected.error = "admission rejected: " +
+                     std::to_string(admission_.num_workers()) + " running + " +
+                     std::to_string(admission_.max_queue()) +
+                     " queued slots are full";
     rejected.total_ms = job->since_submit.elapsed_ms();
     job->promise.set_value(std::move(rejected));
     return future;
@@ -100,27 +179,175 @@ void GraphSession::cancel_all() {
   for (const auto& token : active_tokens_) token->cancel();
 }
 
-QueryResult GraphSession::execute_engine(const QueryRequest& req,
+CircuitBreaker::State GraphSession::breaker_state(EngineKind kind) {
+  std::lock_guard<std::mutex> lock(breakers_mu_);
+  return breakers_[static_cast<std::size_t>(kind)].state();
+}
+
+QueryResult GraphSession::execute_engine(EngineKind kind,
+                                         const QueryRequest& req,
                                          const MatchingPlan& plan,
                                          const CancelToken& token) {
   QueryResult result;
-  if (req.engine == EngineKind::kSimt) {
-    MatchResult r = stmatch_match(graph_, plan, req.simt, &token);
-    result.count = r.count;
-    result.stats = r.query;
-    // Simulated engine time is not wall time; report wall latency fields
-    // from the service clocks below, but keep the engine's own view here.
-  } else {
-    HostEngineConfig host = req.host;
-    if (host.num_threads == 0) {
-      host.num_threads = std::max<std::size_t>(1, cfg_.host_threads_per_query);
+  switch (kind) {
+    case EngineKind::kSimt: {
+      MatchResult r = stmatch_match(graph_, plan, req.simt, &token);
+      result.count = r.count;
+      result.stats = r.query;
+      // Simulated engine time is not wall time; report wall latency fields
+      // from the service clocks below, but keep the engine's own view here.
+      break;
     }
-    HostMatchResult r = host_match(graph_, plan, host, &token);
-    result.count = r.count;
-    result.stats = r.stats;
+    case EngineKind::kHost: {
+      HostEngineConfig host = req.host;
+      if (host.num_threads == 0) {
+        host.num_threads = std::max<std::size_t>(1, cfg_.host_threads_per_query);
+      }
+      HostMatchResult r = host_match(graph_, plan, host, &token);
+      result.count = r.count;
+      result.stats = r.stats;
+      break;
+    }
+    case EngineKind::kReference: {
+      // Last-resort path: shares no candidate-set machinery with the
+      // optimized engines, so faults rooted there cannot follow us here.
+      ReferenceOptions opts;
+      opts.induced = req.plan.induced;
+      opts.count_mode = req.plan.count_mode;
+      Timer engine_timer;
+      result.count = reference_count(graph_, req.pattern, opts, &token);
+      result.stats.engine_ms = engine_timer.elapsed_ms();
+      if (token.expired()) result.stats.status = token.status();
+      break;
+    }
   }
   result.status = result.stats.status;
   return result;
+}
+
+QueryResult GraphSession::try_engine(EngineKind kind, const QueryRequest& req,
+                                     const MatchingPlan& plan,
+                                     const CancelToken& token,
+                                     std::uint32_t attempt) {
+  QueryResult result;
+  try {
+    // A fresh fault incarnation per attempt: the injected-failure schedule
+    // is a pure function of (seed, incarnation, site, key), so transient
+    // faults clear deterministically on retry instead of repeating forever.
+    QueryRequest attempt_req = req;
+    attempt_req.simt.fault.incarnation = req.simt.fault.incarnation + attempt;
+    attempt_req.host.fault.incarnation = req.host.fault.incarnation + attempt;
+    result = execute_engine(kind, attempt_req, plan, token);
+  } catch (const check_error& e) {
+    // Precondition violation: the query (not the engine) is at fault.
+    result = QueryResult{};
+    result.status = result.stats.status = QueryStatus::kInvalidArgument;
+    result.error = e.what();
+  } catch (const std::exception& e) {
+    // Engine-call boundary (DESIGN.md §9): a throwing engine must not take
+    // down the dispatcher thread or strand the admission slot.
+    result = QueryResult{};
+    result.status = result.stats.status = QueryStatus::kInternalError;
+    result.error = std::string("engine ") + to_string(kind) +
+                   " threw: " + e.what();
+  } catch (...) {
+    result = QueryResult{};
+    result.status = result.stats.status = QueryStatus::kInternalError;
+    result.error = std::string("engine ") + to_string(kind) +
+                   " threw a non-standard exception";
+  }
+  return result;
+}
+
+QueryResult GraphSession::execute_resilient(
+    const QueryRequest& req, const MatchingPlan& plan,
+    const std::shared_ptr<CancelToken>& token) {
+  const ResilienceConfig& res = cfg_.resilience;
+  const std::vector<EngineKind> chain =
+      fallback_chain(req.engine, res.enable_fallback);
+  const std::uint32_t max_attempts = std::max<std::uint32_t>(1, res.retry.max_attempts);
+
+  QueryResult last;
+  last.status = last.stats.status = QueryStatus::kInternalError;
+  last.served_by = req.engine;
+  std::uint32_t total_attempts = 0;
+  std::uint64_t faults_sum = 0;
+  std::uint64_t units_sum = 0;
+
+  auto finalize = [&](QueryResult r) {
+    r.attempts = total_attempts;
+    r.stats.faults_injected = faults_sum;
+    r.stats.units_recovered = units_sum;
+    return r;
+  };
+
+  for (EngineKind kind : chain) {
+    const auto idx = static_cast<std::size_t>(kind);
+    bool allowed;
+    {
+      std::lock_guard<std::mutex> lock(breakers_mu_);
+      const double elapsed = breaker_clock_.elapsed_ms();
+      breaker_clock_.reset();
+      for (auto& b : breakers_) b.tick_ms(elapsed);
+      allowed = breakers_[idx].allow();
+      breaker_state_gauges_[idx]->set(
+          static_cast<double>(breakers_[idx].state()));
+    }
+    if (!allowed) {
+      // Open circuit: skip straight to the next engine in the chain rather
+      // than burning the query's budget on a path that keeps failing.
+      breaker_skips_.inc();
+      continue;
+    }
+    if (kind != req.engine) engine_fallbacks_.inc();
+
+    for (std::uint32_t attempt = 0; attempt < max_attempts; ++attempt) {
+      if (token->expired()) {
+        // The token is burned (deadline, cancel or watchdog kill): no
+        // engine call can succeed anymore.
+        QueryResult dead;
+        dead.status = dead.stats.status = token->status();
+        dead.served_by = kind;
+        dead.degraded = kind != req.engine;
+        return finalize(std::move(dead));
+      }
+      if (attempt > 0) {
+        engine_retries_.inc();
+        const double delay_ms =
+            res.retry.backoff_ms(attempt, static_cast<std::uint64_t>(kind));
+        if (delay_ms > 0.0) {
+          std::this_thread::sleep_for(
+              std::chrono::duration<double, std::milli>(delay_ms));
+        }
+      }
+      ++total_attempts;
+      QueryResult r = try_engine(kind, req, plan, *token, attempt);
+      faults_sum += r.stats.faults_injected;
+      units_sum += r.stats.units_recovered;
+      r.served_by = kind;
+      r.degraded = kind != req.engine;
+
+      const bool failure = r.status == QueryStatus::kInternalError;
+      {
+        std::lock_guard<std::mutex> lock(breakers_mu_);
+        if (failure) {
+          breakers_[idx].record_failure();
+        } else {
+          breakers_[idx].record_success();
+        }
+        breaker_state_gauges_[idx]->set(
+            static_cast<double>(breakers_[idx].state()));
+      }
+      if (!failure) {
+        // kOk, but also kInvalidArgument / kDeadlineExceeded / kCancelled:
+        // all terminal. Retrying an invalid query would mask the caller's
+        // bug; a burned token cannot be un-burned.
+        return finalize(std::move(r));
+      }
+      last = std::move(r);
+    }
+  }
+  return finalize(std::move(last));
 }
 
 void GraphSession::execute(QueryJob& job) {
@@ -129,16 +356,19 @@ void GraphSession::execute(QueryJob& job) {
   queue_wait_ms_.observe(queue_ms);
   queue_depth_.set(static_cast<double>(admission_.queue_depth()));
   inflight_.add(1.0);
+  watchdog_.watch(job.token);
 
   try {
     bool cache_hit = false;
     // Skip plan work for queries that died in the queue.
     if (job.token->expired()) {
       result.status = result.stats.status = job.token->status();
+      result.served_by = job.req.engine;
+      result.attempts = 0;
     } else {
       auto plan =
           plan_cache_.get_or_compile(job.req.pattern, job.req.plan, &cache_hit);
-      result = execute_engine(job.req, *plan, *job.token);
+      result = execute_resilient(job.req, *plan, job.token);
       result.plan_cache_hit = cache_hit;
     }
     cache_hit_rate_.set(plan_cache_.stats().hit_rate());
@@ -146,6 +376,43 @@ void GraphSession::execute(QueryJob& job) {
     result = QueryResult{};
     result.status = result.stats.status = QueryStatus::kInvalidArgument;
     result.error = e.what();
+  } catch (const std::exception& e) {
+    // Last line of defense (DESIGN.md §9): nothing may escape into the
+    // dispatcher pool, where it would std::terminate the process.
+    result = QueryResult{};
+    result.status = result.stats.status = QueryStatus::kInternalError;
+    result.error = std::string("query execution threw: ") + e.what();
+  } catch (...) {
+    result = QueryResult{};
+    result.status = result.stats.status = QueryStatus::kInternalError;
+    result.error = "query execution threw a non-standard exception";
+  }
+  watchdog_.unwatch(job.token);
+
+  if (!result.ok() && result.error.empty()) {
+    // Satellite guarantee: every non-kOk result carries a human-readable
+    // detail string.
+    switch (result.status) {
+      case QueryStatus::kDeadlineExceeded: {
+        double budget = job.req.deadline_ms;
+        if (budget == 0.0) budget = cfg_.default_deadline_ms;
+        result.error = "deadline of " + std::to_string(budget) +
+                       " ms exhausted (count is partial)";
+        break;
+      }
+      case QueryStatus::kCancelled:
+        result.error = "query cancelled (count is partial)";
+        break;
+      case QueryStatus::kInternalError:
+        result.error = "engine execution failed after " +
+                       std::to_string(result.attempts) +
+                       " attempt(s); recovery budget exhausted or progress "
+                       "stalled";
+        break;
+      default:
+        result.error = std::string("query failed: ") + to_string(result.status);
+        break;
+    }
   }
 
   result.queue_ms = queue_ms;
@@ -153,8 +420,11 @@ void GraphSession::execute(QueryJob& job) {
   latency_ms_.observe(result.total_ms);
   inflight_.add(-1.0);
   (result.ok() ? queries_completed_ : queries_failed_).inc();
+  if (result.degraded && result.ok()) queries_degraded_.inc();
   matches_total_.inc(result.count);
   engine_scalar_ops_.inc(result.stats.scalar_ops);
+  faults_injected_total_.inc(result.stats.faults_injected);
+  recovery_units_total_.inc(result.stats.units_recovered);
   {
     std::lock_guard<std::mutex> lock(tokens_mu_);
     active_tokens_.erase(job.token);

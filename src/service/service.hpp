@@ -3,9 +3,11 @@
 // A session owns one data graph plus everything derived from it that should
 // outlive a single query: a plan cache (matching order / symmetry / code
 // motion analysis done once per distinct pattern), an admission controller
-// (bounded concurrent execution, priority FIFO queueing, load shedding) and
-// a metrics registry (latency/queue-wait histograms, cache hit rate, engine
-// op counters — exportable as JSON and Prometheus text).
+// (bounded concurrent execution, priority FIFO queueing, load shedding), a
+// metrics registry (latency/queue-wait histograms, cache hit rate, engine
+// op counters — exportable as JSON and Prometheus text) and a resilience
+// stack (retry policy, per-engine circuit breakers, graceful-degradation
+// fallback chain, progress watchdog).
 //
 // Request lifecycle:
 //
@@ -18,17 +20,28 @@
 // Every query gets a CancelToken armed at submission; the engines poll it
 // cooperatively, so a query past its deadline returns kDeadlineExceeded with
 // the partial count instead of running unbounded.
+//
+// Fault handling (DESIGN.md §9): an engine call that fails transiently
+// (kInternalError, or an escaped exception) is retried under the session's
+// RetryPolicy with a fresh fault incarnation, then — if still failing — the
+// dispatcher walks the engine's fallback chain (kSimt → kHost → kReference;
+// kHost → kReference) and marks the result `degraded`. A per-engine circuit
+// breaker skips engines that keep failing; the watchdog force-fails queries
+// whose progress counter stalls.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_set>
 
 #include "core/cancel.hpp"
 #include "core/config.hpp"
+#include "core/fault.hpp"
 #include "core/host_engine.hpp"
 #include "core/query_stats.hpp"
 #include "graph/graph.hpp"
@@ -36,14 +49,22 @@
 #include "service/admission.hpp"
 #include "service/metrics.hpp"
 #include "service/plan_cache.hpp"
+#include "service/resilience.hpp"
+#include "service/watchdog.hpp"
+#include "util/timer.hpp"
 
 namespace stm {
 
-/// Which execution path serves the query.
+/// Which execution path serves the query. The order doubles as the
+/// degradation order: fallback moves strictly to the right.
 enum class EngineKind : std::uint8_t {
-  kHost,  // real threads (production CPU path)
-  kSimt,  // simulated-GPU STMatch engine
+  kSimt = 0,   // simulated-GPU STMatch engine
+  kHost,       // real threads (production CPU path)
+  kReference,  // single-threaded brute-force enumerator (last resort)
 };
+inline constexpr std::size_t kNumEngineKinds = 3;
+
+const char* to_string(EngineKind kind);
 
 struct QueryRequest {
   Pattern pattern;
@@ -72,10 +93,30 @@ struct QueryResult {
   double queue_ms = 0.0;
   /// Submission-to-completion wall clock, ms.
   double total_ms = 0.0;
-  /// Human-readable detail for kInvalidArgument.
+  /// The engine that actually produced the result — may differ from
+  /// QueryRequest::engine after fallback.
+  EngineKind served_by = EngineKind::kHost;
+  /// True when served_by != the requested engine (graceful degradation).
+  bool degraded = false;
+  /// Engine calls issued for this query across retries and fallbacks.
+  std::uint32_t attempts = 1;
+  /// Human-readable detail; populated for every non-kOk status.
   std::string error;
 
   bool ok() const { return status == QueryStatus::kOk; }
+};
+
+/// Resilience policy knobs (see service/resilience.hpp, service/watchdog.hpp).
+struct ResilienceConfig {
+  RetryPolicy retry;
+  /// Walk the degradation chain when the requested engine keeps failing.
+  bool enable_fallback = true;
+  CircuitBreaker::Config breaker;
+  /// Kill queries whose progress stalls this long; <= 0 disables.
+  double watchdog_stall_ms = 0.0;
+  double watchdog_poll_ms = 10.0;
+  /// Chaos for the dispatcher pool itself (FaultSite::kPoolTask).
+  FaultConfig pool_fault;
 };
 
 struct SessionConfig {
@@ -88,6 +129,7 @@ struct SessionConfig {
   double default_deadline_ms = 0.0;
   /// Engine threads each host-path query runs on.
   std::size_t host_threads_per_query = 1;
+  ResilienceConfig resilience;
 };
 
 class GraphSession {
@@ -119,12 +161,25 @@ class GraphSession {
   PlanCache& plan_cache() { return plan_cache_; }
   MetricsRegistry& metrics() { return metrics_; }
 
+  /// Current breaker state for an engine (test/observability hook).
+  CircuitBreaker::State breaker_state(EngineKind kind);
+
  private:
   struct QueryJob;
 
   void execute(QueryJob& job);
-  QueryResult execute_engine(const QueryRequest& req, const MatchingPlan& plan,
+  /// One engine call on `kind`, exceptions contained (check_error →
+  /// kInvalidArgument, anything else → kInternalError).
+  QueryResult try_engine(EngineKind kind, const QueryRequest& req,
+                         const MatchingPlan& plan, const CancelToken& token,
+                         std::uint32_t attempt);
+  QueryResult execute_engine(EngineKind kind, const QueryRequest& req,
+                             const MatchingPlan& plan,
                              const CancelToken& token);
+  /// Retry + breaker + fallback-chain walk around try_engine.
+  QueryResult execute_resilient(const QueryRequest& req,
+                                const MatchingPlan& plan,
+                                const std::shared_ptr<CancelToken>& token);
 
   Graph graph_;
   SessionConfig cfg_;
@@ -140,6 +195,13 @@ class GraphSession {
   Counter& queries_rejected_;
   Counter& queries_completed_;
   Counter& queries_failed_;
+  Counter& queries_degraded_;
+  Counter& engine_retries_;
+  Counter& engine_fallbacks_;
+  Counter& breaker_skips_;
+  Counter& watchdog_kills_;
+  Counter& faults_injected_total_;
+  Counter& recovery_units_total_;
   Counter& matches_total_;
   Counter& engine_scalar_ops_;
   Gauge& inflight_;
@@ -147,6 +209,18 @@ class GraphSession {
   Gauge& cache_hit_rate_;
   Histogram& latency_ms_;
   Histogram& queue_wait_ms_;
+
+  // One breaker per engine kind, guarded by breakers_mu_ (engine calls run
+  // outside the lock; only the state transitions are serialized). The
+  // breakers run on injected virtual time: breaker_clock_ measures the wall
+  // time between consultations and feeds it to tick_ms().
+  std::mutex breakers_mu_;
+  std::array<CircuitBreaker, kNumEngineKinds> breakers_;
+  std::array<Gauge*, kNumEngineKinds> breaker_state_gauges_{};
+  Timer breaker_clock_;
+
+  std::optional<FaultInjector> pool_injector_;
+  Watchdog watchdog_;
 
   // Declared last: its worker threads touch the members above, and members
   // destruct in reverse order, so the pool drains before anything it uses

@@ -1,0 +1,83 @@
+#include "service/watchdog.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "core/query_stats.hpp"
+
+namespace stm {
+
+Watchdog::Watchdog(double stall_ms, double poll_ms, Counter* kills)
+    : stall_ms_(stall_ms),
+      poll_ms_(std::max(poll_ms, 1.0)),
+      kill_counter_(kills),
+      enabled_(stall_ms > 0.0) {
+  if (enabled_) thread_ = std::thread([this] { loop(); });
+}
+
+Watchdog::~Watchdog() {
+  if (!enabled_) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+void Watchdog::watch(std::shared_ptr<CancelToken> token) {
+  if (!enabled_ || token == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  watched_.push_back({std::move(token), 0, 0.0});
+  // Seed last_progress from the token so pre-watch heartbeats don't mask an
+  // immediate stall.
+  watched_.back().last_progress = watched_.back().token->progress();
+}
+
+void Watchdog::unwatch(const std::shared_ptr<CancelToken>& token) {
+  if (!enabled_) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  watched_.erase(std::remove_if(watched_.begin(), watched_.end(),
+                                [&](const Watched& w) {
+                                  return w.token == token;
+                                }),
+                 watched_.end());
+}
+
+std::uint64_t Watchdog::kills() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return kills_;
+}
+
+void Watchdog::loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto interval =
+      std::chrono::microseconds(static_cast<std::int64_t>(poll_ms_ * 1000));
+  while (!stopping_) {
+    cv_.wait_for(lock, interval);
+    if (stopping_) break;
+    for (auto it = watched_.begin(); it != watched_.end();) {
+      const std::uint64_t now = it->token->progress();
+      if (now != it->last_progress) {
+        it->last_progress = now;
+        it->stalled_ms = 0.0;
+        ++it;
+        continue;
+      }
+      it->stalled_ms += poll_ms_;
+      if (it->stalled_ms < stall_ms_) {
+        ++it;
+        continue;
+      }
+      // No progress for the full stall budget: presume the query hung and
+      // force-fail its token. The engine observes kInternalError at its
+      // next poll; a truly wedged worker at least stops charging new work.
+      it->token->fail(QueryStatus::kInternalError);
+      ++kills_;
+      if (kill_counter_ != nullptr) kill_counter_->inc();
+      it = watched_.erase(it);
+    }
+  }
+}
+
+}  // namespace stm

@@ -1,0 +1,71 @@
+// Progress watchdog: force-cancels queries whose engines stop making
+// progress.
+//
+// Cooperative cancellation (core/cancel.hpp) only works while the engine
+// keeps polling its token. If a worker deadlocks, livelocks or spins without
+// reaching a poll point, the deadline never fires from the engine's side.
+// The watchdog closes that gap from the outside: engines publish a monotonic
+// progress counter on their CancelToken (CancelPoller heartbeats it at every
+// poll stride and chunk boundary); a background thread samples each watched
+// token and force-fails any whose counter has not advanced for `stall_ms`.
+// The failure reason is kInternalError, which flows back through the
+// engine's normal cancellation path — the stalled query unblocks itself the
+// next time any of its workers polls.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/cancel.hpp"
+#include "service/metrics.hpp"
+
+namespace stm {
+
+class Watchdog {
+ public:
+  /// Stalls of `stall_ms` or more trigger a kill; the token list is scanned
+  /// every `poll_ms`. `stall_ms <= 0` disables the watchdog entirely (no
+  /// thread is started). `kills` (optional) is bumped once per killed query.
+  Watchdog(double stall_ms, double poll_ms, Counter* kills = nullptr);
+  ~Watchdog();
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// Starts supervising `token` until unwatch() or a kill.
+  void watch(std::shared_ptr<CancelToken> token);
+  /// Stops supervising `token` (normal query completion). No-op when the
+  /// token is unknown (e.g. already killed).
+  void unwatch(const std::shared_ptr<CancelToken>& token);
+
+  bool enabled() const { return enabled_; }
+  /// Queries force-failed so far.
+  std::uint64_t kills() const;
+
+ private:
+  struct Watched {
+    std::shared_ptr<CancelToken> token;
+    std::uint64_t last_progress = 0;
+    double stalled_ms = 0.0;
+  };
+
+  void loop();
+
+  const double stall_ms_;
+  const double poll_ms_;
+  Counter* kill_counter_;
+  bool enabled_ = false;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Watched> watched_;
+  std::uint64_t kills_ = 0;
+  bool stopping_ = false;
+  std::thread thread_;
+};
+
+}  // namespace stm

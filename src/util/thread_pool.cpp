@@ -27,10 +27,17 @@ void ThreadPool::submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     STM_CHECK_MSG(!stopping_, "submit on a stopping pool");
-    queue_.push_back(std::move(task));
+    queue_.push_back({std::move(task), next_seq_++, 0});
     ++in_flight_;
   }
   cv_task_.notify_one();
+}
+
+void ThreadPool::set_fault_injection(FaultInjector* injector,
+                                     std::uint32_t max_requeues) {
+  std::lock_guard<std::mutex> lock(mu_);
+  injector_ = injector;
+  max_requeues_ = max_requeues;
 }
 
 void ThreadPool::wait_idle() {
@@ -58,15 +65,26 @@ void ThreadPool::parallel_for(std::size_t n,
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_task_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();
+      if (injector_ != nullptr && task.requeues < max_requeues_ &&
+          injector_->should_fail(FaultSite::kPoolTask,
+                                 (task.seq << 8) | task.requeues)) {
+        // The worker "crashed" before touching the task: hand it back to the
+        // queue for another worker. in_flight_ is untouched, so wait_idle()
+        // still accounts for it.
+        ++task.requeues;
+        queue_.push_back(std::move(task));
+        cv_task_.notify_one();
+        continue;
+      }
     }
-    task();
+    task.fn();
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (--in_flight_ == 0) cv_idle_.notify_all();

@@ -1,14 +1,17 @@
 // Fixed-size thread pool used by the host-parallel execution paths
-// (STMatch host engine, Dryadic-style baseline).
+// (STMatch host engine, Dryadic-style baseline) and the service dispatcher.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "core/fault.hpp"
 
 namespace stm {
 
@@ -36,15 +39,34 @@ class ThreadPool {
   /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
+  /// Enables chaos at FaultSite::kPoolTask: a popped task for which the
+  /// injector fires is pushed back to the tail instead of running (modeling
+  /// a worker crash before the task did any work). Requeues are bounded per
+  /// task by `max_requeues`; past the bound the task runs anyway, so no task
+  /// is ever lost and wait_idle() always terminates. The injector must
+  /// outlive the pool (or be cleared with nullptr first). Decisions are
+  /// keyed by (submit sequence number, requeue count), so they are
+  /// deterministic per pool regardless of worker interleaving.
+  void set_fault_injection(FaultInjector* injector, std::uint32_t max_requeues);
+
  private:
+  struct Task {
+    std::function<void()> fn;
+    std::uint64_t seq = 0;
+    std::uint32_t requeues = 0;
+  };
+
   void worker_loop();
 
   std::mutex mu_;
   std::condition_variable cv_task_;
   std::condition_variable cv_idle_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Task> queue_;
   std::size_t in_flight_ = 0;
+  std::uint64_t next_seq_ = 0;
   bool stopping_ = false;
+  FaultInjector* injector_ = nullptr;  // guarded by mu_
+  std::uint32_t max_requeues_ = 0;
   std::vector<std::thread> workers_;
 };
 
