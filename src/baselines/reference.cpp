@@ -8,7 +8,7 @@ namespace stm {
 namespace {
 
 struct RefState {
-  const Graph& g;
+  GraphView g;
   Pattern p;  // reordered
   ReferenceOptions opts;
   std::vector<SymmetryConstraint> constraints;
@@ -72,7 +72,7 @@ struct RefState {
 }  // namespace
 
 std::uint64_t reference_enumerate(
-    const Graph& g, const Pattern& p, const ReferenceOptions& opts,
+    GraphView g, const Pattern& p, const ReferenceOptions& opts,
     const std::function<void(const std::vector<VertexId>&)>& emit,
     const CancelToken* cancel) {
   RefState state{g,  reorder_for_matching(p), opts, {}, {}, 0, nullptr,
@@ -85,7 +85,7 @@ std::uint64_t reference_enumerate(
   return state.count;
 }
 
-std::uint64_t reference_count(const Graph& g, const Pattern& p,
+std::uint64_t reference_count(GraphView g, const Pattern& p,
                               const ReferenceOptions& opts,
                               const CancelToken* cancel) {
   return reference_enumerate(g, p, opts, nullptr, cancel);

@@ -11,7 +11,7 @@
 #include <vector>
 
 #include "core/cancel.hpp"
-#include "graph/graph.hpp"
+#include "graph/view.hpp"
 #include "pattern/pattern.hpp"
 #include "pattern/plan.hpp"
 
@@ -26,14 +26,14 @@ struct ReferenceOptions {
 /// internally reordered to a connected matching order. A non-null `cancel`
 /// token is polled cooperatively; when it fires the partial count so far is
 /// returned (callers detect this via the token's status).
-std::uint64_t reference_count(const Graph& g, const Pattern& p,
+std::uint64_t reference_count(GraphView g, const Pattern& p,
                               const ReferenceOptions& opts = {},
                               const CancelToken* cancel = nullptr);
 
 /// Enumerates matches, invoking `emit` with the mapping (query vertex i of
 /// the *reordered* pattern -> data vertex). Returns the count.
 std::uint64_t reference_enumerate(
-    const Graph& g, const Pattern& p, const ReferenceOptions& opts,
+    GraphView g, const Pattern& p, const ReferenceOptions& opts,
     const std::function<void(const std::vector<VertexId>&)>& emit,
     const CancelToken* cancel = nullptr);
 

@@ -97,7 +97,7 @@ struct WarpState {
 
 class StackEngine {
  public:
-  StackEngine(const Graph& g, const MatchingPlan& plan, const EngineConfig& cfg,
+  StackEngine(GraphView g, const MatchingPlan& plan, const EngineConfig& cfg,
               const CancelToken* cancel = nullptr)
       : g_(g), plan_(plan), cfg_(cfg), poller_(cancel), k_(plan.size()) {
     cfg_.device.validate();
@@ -177,12 +177,13 @@ class StackEngine {
 
   LabelFilter filter_for(std::uint64_t mask) const {
     if (!g_.is_labeled() || mask == ~0ULL) return LabelFilter{};
-    return LabelFilter{g_.labels().data(), mask};
+    return LabelFilter{g_.labels_data(), mask};
   }
 
   /// Injectivity + symmetry-order filters for choosing v_l (labels are
   /// already enforced by the candidate set's mask).
   bool choice_ok(const WarpState& w, std::size_t l, VertexId v) const {
+    if (l == 1 && cfg_.pin_v1 != kNoVertex && v != cfg_.pin_v1) return false;
     for (std::size_t j = 0; j < l; ++j)
       if (w.matched[j] == v) return false;
     for (std::uint8_t smaller : plan_.constraints_at(l))
@@ -661,7 +662,7 @@ class StackEngine {
     descend(w, l);
   }
 
-  const Graph& g_;
+  const GraphView g_;
   const MatchingPlan& plan_;
   EngineConfig cfg_;
   CancelPoller poller_;
@@ -778,7 +779,7 @@ MatchResult StackEngine::run() {
 
 }  // namespace
 
-MatchResult stmatch_match(const Graph& g, const MatchingPlan& plan,
+MatchResult stmatch_match(GraphView g, const MatchingPlan& plan,
                           const EngineConfig& cfg, const CancelToken* cancel) {
   if (cfg.fault.enabled()) {
     // Whole-engine-call failure: thrown (not returned) so the service layer's
@@ -792,7 +793,7 @@ MatchResult stmatch_match(const Graph& g, const MatchingPlan& plan,
   return engine.run();
 }
 
-MatchResult stmatch_match_pattern(const Graph& g, const Pattern& p,
+MatchResult stmatch_match_pattern(GraphView g, const Pattern& p,
                                   const PlanOptions& plan_opts,
                                   const EngineConfig& cfg) {
   MatchingPlan plan(reorder_for_matching(p), plan_opts);

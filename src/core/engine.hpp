@@ -11,7 +11,7 @@
 
 #include "core/cancel.hpp"
 #include "core/config.hpp"
-#include "graph/graph.hpp"
+#include "graph/view.hpp"
 #include "pattern/plan.hpp"
 
 namespace stm {
@@ -22,13 +22,13 @@ namespace stm {
 /// polled in the scheduler loop (wall-clock deadlines apply even though the
 /// engine's own time is simulated); when it fires, the run returns the
 /// partial count with query.status set.
-MatchResult stmatch_match(const Graph& g, const MatchingPlan& plan,
+MatchResult stmatch_match(GraphView g, const MatchingPlan& plan,
                           const EngineConfig& cfg = {},
                           const CancelToken* cancel = nullptr);
 
 /// Convenience wrapper: reorders `p` into matching order, compiles a plan,
 /// and runs the engine.
-MatchResult stmatch_match_pattern(const Graph& g, const Pattern& p,
+MatchResult stmatch_match_pattern(GraphView g, const Pattern& p,
                                   const PlanOptions& plan_opts = {},
                                   const EngineConfig& cfg = {});
 

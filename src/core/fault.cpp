@@ -13,6 +13,7 @@ const char* to_string(FaultSite site) {
     case FaultSite::kDeviceFail: return "device_fail";
     case FaultSite::kPoolTask: return "pool_task";
     case FaultSite::kEngineThrow: return "engine_throw";
+    case FaultSite::kUpdateApply: return "update_apply";
   }
   return "unknown";
 }

@@ -32,8 +32,10 @@ enum class FaultSite : std::uint8_t {
   kPoolTask,        // a thread-pool worker drops a task (requeued, bounded)
   kEngineThrow,     // the engine entry point throws (exercises the service
                     // exception boundary and the fallback chain)
+  kUpdateApply,     // a dynamic-graph update batch fails before publishing
+                    // its snapshot (exercises apply atomicity)
 };
-inline constexpr std::size_t kNumFaultSites = 7;
+inline constexpr std::size_t kNumFaultSites = 8;
 
 const char* to_string(FaultSite site);
 

@@ -26,7 +26,7 @@ struct RetryChunk {
 
 }  // namespace
 
-HostMatchResult host_match(const Graph& g, const MatchingPlan& plan,
+HostMatchResult host_match(GraphView g, const MatchingPlan& plan,
                            const HostEngineConfig& cfg,
                            const CancelToken* cancel) {
   STM_CHECK(cfg.chunk_size >= 1);

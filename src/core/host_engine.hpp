@@ -12,7 +12,7 @@
 #include "core/config.hpp"
 #include "core/fault.hpp"
 #include "core/query_stats.hpp"
-#include "graph/graph.hpp"
+#include "graph/view.hpp"
 #include "pattern/plan.hpp"
 
 namespace stm {
@@ -41,7 +41,7 @@ struct HostMatchResult {
 /// polled cooperatively by every worker; when it fires, the run returns
 /// early with the partial count and stats.status = kDeadlineExceeded /
 /// kCancelled.
-HostMatchResult host_match(const Graph& g, const MatchingPlan& plan,
+HostMatchResult host_match(GraphView g, const MatchingPlan& plan,
                            const HostEngineConfig& cfg = {},
                            const CancelToken* cancel = nullptr);
 

@@ -11,7 +11,7 @@ namespace {
 
 class RecExec {
  public:
-  RecExec(const Graph& g, const MatchingPlan& plan, RecursiveCounters* c,
+  RecExec(GraphView g, const MatchingPlan& plan, RecursiveCounters* c,
           const CancelToken* cancel = nullptr)
       : g_(g), plan_(plan), counters_(c), poller_(cancel), k_(plan.size()) {
     STM_CHECK_MSG(!plan_.pattern().is_labeled() || g_.is_labeled(),
@@ -95,7 +95,7 @@ class RecExec {
       auto nbrs = g_.neighbors(matched_[node.op.vertex]);
       const LabelFilter filter =
           (g_.is_labeled() && node.label_mask != ~0ULL)
-              ? LabelFilter{g_.labels().data(), node.label_mask}
+              ? LabelFilter{g_.labels_data(), node.label_mask}
               : LabelFilter{};
       auto& out = values_[static_cast<std::size_t>(id)];
       if (node.dep < 0) {
@@ -183,7 +183,7 @@ class RecExec {
     return total;
   }
 
-  const Graph& g_;
+  const GraphView g_;
   const MatchingPlan& plan_;
   RecursiveCounters* counters_;
   CancelPoller poller_;
@@ -197,7 +197,7 @@ class RecExec {
 
 }  // namespace
 
-std::uint64_t recursive_count_range(const Graph& g, const MatchingPlan& plan,
+std::uint64_t recursive_count_range(GraphView g, const MatchingPlan& plan,
                                     VertexId v_begin, VertexId v_end,
                                     RecursiveCounters* counters,
                                     const CancelToken* cancel) {
@@ -205,15 +205,14 @@ std::uint64_t recursive_count_range(const Graph& g, const MatchingPlan& plan,
   return exec.run_range(v_begin, v_end);
 }
 
-std::uint64_t recursive_enumerate_range(const Graph& g,
-                                        const MatchingPlan& plan,
+std::uint64_t recursive_enumerate_range(GraphView g, const MatchingPlan& plan,
                                         VertexId v_begin, VertexId v_end,
                                         const EmbeddingVisitor& visit) {
   RecExec exec(g, plan, nullptr);
   return exec.run_range(v_begin, v_end, &visit);
 }
 
-std::uint64_t recursive_count_seed(const Graph& g, const MatchingPlan& plan,
+std::uint64_t recursive_count_seed(GraphView g, const MatchingPlan& plan,
                                    VertexId v0, VertexId v1,
                                    RecursiveCounters* counters) {
   RecExec exec(g, plan, counters);
@@ -221,7 +220,7 @@ std::uint64_t recursive_count_seed(const Graph& g, const MatchingPlan& plan,
 }
 
 std::vector<std::pair<VertexId, VertexId>> enumerate_seeds(
-    const Graph& g, const MatchingPlan& plan) {
+    GraphView g, const MatchingPlan& plan) {
   RecExec exec(g, plan, nullptr);
   return exec.seeds();
 }

@@ -14,7 +14,7 @@
 #include <vector>
 
 #include "core/cancel.hpp"
-#include "graph/graph.hpp"
+#include "graph/view.hpp"
 #include "pattern/plan.hpp"
 
 namespace stm {
@@ -47,7 +47,7 @@ struct RecursiveCounters {
 /// enumeration; when it fires the partial count found so far is returned
 /// (the caller inspects the token to distinguish completion from
 /// interruption).
-std::uint64_t recursive_count_range(const Graph& g, const MatchingPlan& plan,
+std::uint64_t recursive_count_range(GraphView g, const MatchingPlan& plan,
                                     VertexId v_begin, VertexId v_end,
                                     RecursiveCounters* counters = nullptr,
                                     const CancelToken* cancel = nullptr);
@@ -59,8 +59,7 @@ using EmbeddingVisitor = std::function<bool(const std::vector<VertexId>&)>;
 
 /// Like recursive_count_range but invokes `visit` per embedding; stops early
 /// when the visitor returns false. Returns the number of embeddings visited.
-std::uint64_t recursive_enumerate_range(const Graph& g,
-                                        const MatchingPlan& plan,
+std::uint64_t recursive_enumerate_range(GraphView g, const MatchingPlan& plan,
                                         VertexId v_begin, VertexId v_end,
                                         const EmbeddingVisitor& visit);
 
@@ -68,7 +67,7 @@ std::uint64_t recursive_enumerate_range(const Graph& g,
 /// edge-based work decomposition used by Dryadic-style CPU systems.
 /// (v0, v1) must satisfy the level-0/1 filters; returns the match count
 /// under that prefix.
-std::uint64_t recursive_count_seed(const Graph& g, const MatchingPlan& plan,
+std::uint64_t recursive_count_seed(GraphView g, const MatchingPlan& plan,
                                    VertexId v0, VertexId v1,
                                    RecursiveCounters* counters = nullptr);
 
@@ -76,6 +75,6 @@ std::uint64_t recursive_count_seed(const Graph& g, const MatchingPlan& plan,
 /// distributes). For every valid v0, every valid v1 from level 1's candidate
 /// set.
 std::vector<std::pair<VertexId, VertexId>> enumerate_seeds(
-    const Graph& g, const MatchingPlan& plan);
+    GraphView g, const MatchingPlan& plan);
 
 }  // namespace stm

@@ -1,0 +1,235 @@
+#include "dynamic/dynamic_graph.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace stm {
+
+namespace {
+
+using EdgePair = std::pair<VertexId, VertexId>;
+
+/// Validates, canonicalizes (u < v) and dedupes one side of a batch.
+std::vector<EdgePair> normalize_edges(
+    const std::vector<EdgePair>& edges, VertexId n, const char* what) {
+  std::vector<EdgePair> out;
+  out.reserve(edges.size());
+  for (auto [u, v] : edges) {
+    STM_CHECK_MSG(u != v, what << " (" << u << "," << v << ") is a self-loop");
+    STM_CHECK_MSG(u < n && v < n, what << " (" << u << "," << v
+                                       << ") references a vertex >= " << n);
+    if (u > v) std::swap(u, v);
+    out.emplace_back(u, v);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+void sorted_insert(std::vector<VertexId>& list, VertexId v) {
+  list.insert(std::lower_bound(list.begin(), list.end(), v), v);
+}
+
+void sorted_erase(std::vector<VertexId>& list, VertexId v) {
+  const auto it = std::lower_bound(list.begin(), list.end(), v);
+  STM_CHECK(it != list.end() && *it == v);
+  list.erase(it);
+}
+
+}  // namespace
+
+Graph GraphSnapshot::compacted() const {
+  GraphBuilder builder(num_vertices());
+  const GraphView g = view();
+  for (VertexId u = 0; u < num_vertices(); ++u)
+    for (VertexId v : g.neighbors(u))
+      if (u < v) builder.add_edge(u, v);
+  Graph out = builder.build();
+  if (base_->is_labeled()) out = out.with_labels(base_->labels());
+  return out;
+}
+
+MutableGraph::MutableGraph(Graph base)
+    : seed_(std::make_shared<const Graph>(std::move(base))) {
+  auto snap = std::make_shared<GraphSnapshot>(GraphSnapshot{});
+  snap->base_ = seed_;
+  snap->num_edges_ = seed_->num_edges();
+  snap->slot_of_.assign(seed_->num_vertices(), -1);
+  current_ = std::move(snap);
+}
+
+std::shared_ptr<const GraphSnapshot> MutableGraph::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_;
+}
+
+void MutableGraph::set_fault(const FaultConfig& cfg) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (cfg.enabled())
+    injector_.emplace(cfg);
+  else
+    injector_.reset();
+}
+
+ApplyResult MutableGraph::apply(const UpdateBatch& batch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const GraphSnapshot& cur = *current_;
+  const VertexId n = cur.num_vertices();
+
+  const auto ins = normalize_edges(batch.insertions, n, "inserted edge");
+  const auto del = normalize_edges(batch.deletions, n, "deleted edge");
+  {
+    std::vector<EdgePair> both;
+    std::set_intersection(ins.begin(), ins.end(), del.begin(), del.end(),
+                          std::back_inserter(both));
+    STM_CHECK_MSG(both.empty(),
+                  "edge (" << both.front().first << "," << both.front().second
+                           << ") is both inserted and deleted in one batch");
+  }
+
+  ApplyResult result;
+  // Redundancy is resolved against the *current* version, so the effective
+  // delta is exactly the symmetric difference this batch causes.
+  const GraphView cur_view = cur.view();
+  for (const auto& e : ins) {
+    if (cur_view.has_edge(e.first, e.second))
+      ++result.stats.ignored_existing;
+    else
+      result.applied.inserted.push_back(e);
+  }
+  for (const auto& e : del) {
+    if (!cur_view.has_edge(e.first, e.second))
+      ++result.stats.ignored_missing;
+    else
+      result.applied.deleted.push_back(e);
+  }
+  result.stats.inserted = result.applied.inserted.size();
+  result.stats.deleted = result.applied.deleted.size();
+
+  if (result.applied.empty()) {
+    result.snapshot = current_;  // no-op batch: same version, same epoch
+    return result;
+  }
+
+  // Build the successor version off to the side; `current_` is published
+  // only after the whole batch (and the fault check) succeeded.
+  auto next = std::make_shared<GraphSnapshot>(GraphSnapshot{});
+  next->base_ = cur.base_;
+  next->epoch_ = cur.epoch_ + 1;
+  next->num_edges_ = cur.num_edges_ + result.applied.inserted.size() -
+                     result.applied.deleted.size();
+  next->slot_of_ = cur.slot_of_;
+  next->merged_ = cur.merged_;
+  next->adds_ = cur.adds_;
+  next->dels_ = cur.dels_;
+
+  const Graph& base = *next->base_;
+  auto slot = [&](VertexId v) -> std::int32_t {
+    std::int32_t s = next->slot_of_[v];
+    if (s < 0) {
+      s = static_cast<std::int32_t>(next->merged_.size());
+      next->slot_of_[v] = s;
+      const auto nbrs = base.neighbors(v);
+      next->merged_.emplace_back(nbrs.begin(), nbrs.end());
+      next->adds_.emplace_back();
+      next->dels_.emplace_back();
+    }
+    return s;
+  };
+  auto connect = [&](VertexId u, VertexId v) {
+    const auto s = static_cast<std::size_t>(slot(u));
+    sorted_insert(next->merged_[s], v);
+    if (base.has_edge(u, v))
+      sorted_erase(next->dels_[s], v);  // re-insert of a tombstoned base edge
+    else
+      sorted_insert(next->adds_[s], v);
+  };
+  auto disconnect = [&](VertexId u, VertexId v) {
+    const auto s = static_cast<std::size_t>(slot(u));
+    sorted_erase(next->merged_[s], v);
+    if (base.has_edge(u, v))
+      sorted_insert(next->dels_[s], v);
+    else
+      sorted_erase(next->adds_[s], v);  // deletion of a previously added edge
+  };
+  for (const auto& [u, v] : result.applied.inserted) {
+    connect(u, v);
+    connect(v, u);
+  }
+  for (const auto& [u, v] : result.applied.deleted) {
+    disconnect(u, v);
+    disconnect(v, u);
+  }
+
+  // Delta vs base, recomputed from the per-vertex lists (each undirected
+  // edge appears in both endpoints' lists; keep the u < v copy).
+  for (VertexId u = 0; u < n; ++u) {
+    const std::int32_t s = next->slot_of_[u];
+    if (s < 0) continue;
+    for (VertexId v : next->adds_[static_cast<std::size_t>(s)])
+      if (u < v) next->delta_from_base_.inserted.emplace_back(u, v);
+    for (VertexId v : next->dels_[static_cast<std::size_t>(s)])
+      if (u < v) next->delta_from_base_.deleted.emplace_back(u, v);
+  }
+
+  if (injector_.has_value() &&
+      injector_->should_fail(FaultSite::kUpdateApply, apply_seq_++)) {
+    // The fully built successor is dropped; the published version is
+    // untouched, so a failed apply is invisible to readers.
+    throw FaultInjectedError("injected fault: update batch apply failed");
+  }
+  ++apply_seq_;
+
+  current_ = std::move(next);
+  result.snapshot = current_;
+  return result;
+}
+
+std::shared_ptr<const GraphSnapshot> MutableGraph::compact() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const GraphSnapshot& cur = *current_;
+  if (cur.delta_from_base_.empty()) return current_;  // already compact
+  auto base = std::make_shared<const Graph>(cur.compacted());
+  auto next = std::make_shared<GraphSnapshot>(GraphSnapshot{});
+  next->base_ = std::move(base);
+  next->epoch_ = cur.epoch_;  // same logical graph, same epoch
+  next->num_edges_ = cur.num_edges_;
+  next->slot_of_.assign(cur.num_vertices(), -1);
+  current_ = std::move(next);
+  return current_;
+}
+
+DeltaOverlay::DeltaOverlay(std::shared_ptr<const GraphSnapshot> snap)
+    : snap_(std::move(snap)), slots_(snap_->num_vertices(), -1) {}
+
+std::vector<VertexId>& DeltaOverlay::touch(VertexId v) {
+  STM_CHECK(v < snap_->num_vertices());
+  std::int32_t s = slots_[v];
+  if (s < 0) {
+    s = static_cast<std::int32_t>(lists_.size());
+    // Resolve through the snapshot layer once; afterwards the overlay list
+    // fully shadows it (GraphView consults the inner layer first).
+    const auto nbrs = snap_->view().neighbors(v);
+    lists_.emplace_back(nbrs.begin(), nbrs.end());
+    slots_[v] = s;
+  }
+  return lists_[static_cast<std::size_t>(s)];
+}
+
+void DeltaOverlay::add_edge(VertexId u, VertexId v) {
+  STM_CHECK(u != v);
+  std::vector<VertexId>& nu = touch(u);
+  STM_CHECK_MSG(!std::binary_search(nu.begin(), nu.end(), v),
+                "overlay add of a present edge " << u << "-" << v);
+  sorted_insert(nu, v);
+  sorted_insert(touch(v), u);
+}
+
+void DeltaOverlay::remove_edge(VertexId u, VertexId v) {
+  STM_CHECK(u != v);
+  sorted_erase(touch(u), v);
+  sorted_erase(touch(v), u);
+}
+
+}  // namespace stm

@@ -1,0 +1,100 @@
+// Incremental (delta) pattern matching over graph snapshots.
+//
+// Given the version a batch was applied to and the effective delta edges,
+// IncrementalMatcher computes the exact change in the pattern's match count
+// without re-enumerating the whole graph. Enumeration is anchored on delta
+// edges only: every pattern edge takes a turn as the anchor (relabeled so
+// the anchor spans levels 0 and 1), and for each delta edge both seed
+// orientations run through the unmodified host or SIMT engine against a
+// prefix-hybrid overlay graph. Inclusion–exclusion over old/new adjacency
+// is realized by the prefix construction (see count_delta in the .cpp),
+// which counts every affected match exactly once — cumulative deltas agree
+// with full re-enumeration bit for bit.
+//
+// Unique-subgraph counts are derived from embedding deltas divided by the
+// pattern's automorphism count (symmetry-breaking constraints do not
+// commute with anchoring). Vertex-induced matching is rejected: an induced
+// match can appear or vanish without containing any delta edge (a non-edge
+// constraint elsewhere flips), so delta-edge anchoring cannot be exact.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/host_engine.hpp"
+#include "dynamic/dynamic_graph.hpp"
+#include "pattern/pattern.hpp"
+#include "pattern/plan.hpp"
+
+namespace stm {
+
+/// Which engine executes the anchored enumerations.
+enum class DeltaEngine : std::uint8_t {
+  kHost = 0,  // sequential seeded recursion (production CPU path)
+  kSimt,      // simulated-GPU stack engine with a pinned level-0/1 seed
+};
+
+struct IncrementalOptions {
+  /// Matching semantics of the standing count. induced must be kEdge.
+  PlanOptions plan;
+  DeltaEngine engine = DeltaEngine::kHost;
+  /// SIMT-path device configuration for engine == kSimt (v_begin/v_end and
+  /// pin_v1 are overwritten per anchored run).
+  EngineConfig simt;
+};
+
+/// The outcome of one batch's delta computation.
+struct DeltaMatchResult {
+  /// Exact change in the match count (new minus old), in the requested
+  /// CountMode.
+  std::int64_t delta = 0;
+  /// Anchored engine invocations issued (pattern edges x delta edges x
+  /// orientations, minus label-pruned seeds).
+  std::uint64_t anchored_runs = 0;
+  /// Effective delta edges processed.
+  std::uint64_t delta_edges = 0;
+};
+
+class IncrementalMatcher {
+ public:
+  /// Compiles one anchored plan per pattern edge. Throws check_error for
+  /// vertex-induced options or patterns with fewer than two vertices.
+  explicit IncrementalMatcher(const Pattern& pattern,
+                              IncrementalOptions opts = {});
+
+  /// Exact match-count change caused by applying `applied` to the version
+  /// `from` (i.e. count(from + applied) - count(from)). `applied` must be
+  /// the effective delta as reported by MutableGraph::apply — normalized,
+  /// insertions absent from and deletions present in `from`.
+  DeltaMatchResult count_delta(
+      const std::shared_ptr<const GraphSnapshot>& from,
+      const DeltaEdges& applied) const;
+
+  const Pattern& pattern() const { return pattern_; }
+  const IncrementalOptions& options() const { return opts_; }
+  /// |Aut(pattern)| — the embeddings-per-subgraph factor.
+  std::uint64_t automorphisms() const { return automorphisms_; }
+
+ private:
+  struct AnchorPlan {
+    MatchingPlan plan;  // anchor edge at levels 0/1, kEmbeddings mode
+  };
+
+  /// Embeddings containing data edge (u, v) in the overlay graph, summed
+  /// over all anchors and both orientations.
+  std::uint64_t count_containing(GraphView g, VertexId u, VertexId v,
+                                 std::uint64_t* runs) const;
+
+  Pattern pattern_;
+  IncrementalOptions opts_;
+  std::vector<AnchorPlan> anchors_;
+  std::uint64_t automorphisms_ = 1;
+};
+
+/// The pattern interpreted as a data graph (vertices [0, size), its edges,
+/// its labels); used for automorphism counting and handy in tests.
+Graph pattern_as_graph(const Pattern& p);
+
+}  // namespace stm

@@ -26,4 +26,7 @@ inline constexpr VertexId kMaxVertices = 1u << 30;
 /// pattern adjacency in a single byte row.
 inline constexpr std::size_t kMaxPatternSize = 8;
 
+/// Sentinel "no vertex" value (never a valid id: ids are < kMaxVertices).
+inline constexpr VertexId kNoVertex = ~VertexId{0};
+
 }  // namespace stm

@@ -48,6 +48,15 @@ class PlanCache {
                                                      const PlanOptions& opts,
                                                      bool* was_hit = nullptr);
 
+  /// Epoch-keyed variant for sessions over a mutable graph: `epoch` is
+  /// folded into both key tiers, so a plan compiled against one graph
+  /// version is never reused after a mutation (stale entries age out of the
+  /// LRU as the epoch advances). The plain overload is epoch 0.
+  std::shared_ptr<const MatchingPlan> get_or_compile(const Pattern& pattern,
+                                                     const PlanOptions& opts,
+                                                     std::uint64_t epoch,
+                                                     bool* was_hit = nullptr);
+
   PlanCacheStats stats() const;
   std::size_t size() const;
   std::size_t capacity() const { return capacity_; }

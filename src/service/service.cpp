@@ -58,7 +58,7 @@ struct GraphSession::QueryJob {
 };
 
 GraphSession::GraphSession(Graph graph, SessionConfig cfg)
-    : graph_(std::move(graph)),
+    : dyn_(std::move(graph)),
       cfg_(cfg),
       plan_cache_(cfg.plan_cache_capacity),
       queries_submitted_(metrics_.counter(
@@ -90,20 +90,43 @@ GraphSession::GraphSession(Graph graph, SessionConfig cfg)
           metrics_.counter("matches_total", "Embeddings counted across queries")),
       engine_scalar_ops_(metrics_.counter(
           "engine_scalar_ops", "Scalar set-operation work across queries")),
+      updates_applied_(metrics_.counter(
+          "updates_applied", "Update batches applied (epoch bumps)")),
+      updates_failed_(metrics_.counter(
+          "updates_failed", "Update batches rejected or failed pre-publish")),
+      edges_inserted_(metrics_.counter(
+          "edges_inserted", "Edges effectively inserted across batches")),
+      edges_deleted_(metrics_.counter(
+          "edges_deleted", "Edges effectively deleted across batches")),
       inflight_(metrics_.gauge("inflight_queries", "Queries executing now")),
       queue_depth_(metrics_.gauge("queue_depth", "Queries waiting to start")),
       cache_hit_rate_(metrics_.gauge("plan_cache_hit_rate",
                                      "Fraction of plan lookups served cached")),
+      graph_epoch_(metrics_.gauge("graph_epoch", "Current graph version")),
+      delta_speedup_(metrics_.gauge(
+          "delta_vs_full_speedup",
+          "Registration-time full-enumeration ms / last batch delta ms")),
+      standing_queries_(
+          metrics_.gauge("standing_queries", "Registered standing queries")),
       latency_ms_(metrics_.histogram("query_latency_ms",
                                      "Submission-to-completion latency")),
       queue_wait_ms_(metrics_.histogram("queue_wait_ms",
                                         "Admission-to-execution wait")),
+      update_latency_ms_(metrics_.histogram(
+          "update_latency_ms", "apply_updates wall time per batch")),
+      incremental_latency_ms_(metrics_.histogram(
+          "incremental_latency_ms",
+          "Standing-query delta computation time per batch")),
       watchdog_(cfg.resilience.watchdog_stall_ms, cfg.resilience.watchdog_poll_ms,
                 &watchdog_kills_),
       admission_(std::max<std::size_t>(1, cfg.max_concurrent_queries),
                  cfg.max_queued_queries) {
-  STM_CHECK_MSG(graph_.num_vertices() > 0,
+  STM_CHECK_MSG(dyn_.base().num_vertices() > 0,
                 "GraphSession requires a non-empty graph");
+  if (cfg_.update_fault.enabled()) {
+    STM_CHECK(cfg_.update_fault.max_unit_attempts >= 1);
+    dyn_.set_fault(cfg_.update_fault);
+  }
   for (std::size_t k = 0; k < kNumEngineKinds; ++k) {
     breakers_[k] = CircuitBreaker(cfg_.resilience.breaker);
     breaker_state_gauges_[k] = &metrics_.gauge(
@@ -187,11 +210,13 @@ CircuitBreaker::State GraphSession::breaker_state(EngineKind kind) {
 QueryResult GraphSession::execute_engine(EngineKind kind,
                                          const QueryRequest& req,
                                          const MatchingPlan& plan,
+                                         const GraphSnapshot& snap,
                                          const CancelToken& token) {
   QueryResult result;
+  const GraphView g = snap.view();
   switch (kind) {
     case EngineKind::kSimt: {
-      MatchResult r = stmatch_match(graph_, plan, req.simt, &token);
+      MatchResult r = stmatch_match(g, plan, req.simt, &token);
       result.count = r.count;
       result.stats = r.query;
       // Simulated engine time is not wall time; report wall latency fields
@@ -203,7 +228,7 @@ QueryResult GraphSession::execute_engine(EngineKind kind,
       if (host.num_threads == 0) {
         host.num_threads = std::max<std::size_t>(1, cfg_.host_threads_per_query);
       }
-      HostMatchResult r = host_match(graph_, plan, host, &token);
+      HostMatchResult r = host_match(g, plan, host, &token);
       result.count = r.count;
       result.stats = r.stats;
       break;
@@ -215,7 +240,7 @@ QueryResult GraphSession::execute_engine(EngineKind kind,
       opts.induced = req.plan.induced;
       opts.count_mode = req.plan.count_mode;
       Timer engine_timer;
-      result.count = reference_count(graph_, req.pattern, opts, &token);
+      result.count = reference_count(g, req.pattern, opts, &token);
       result.stats.engine_ms = engine_timer.elapsed_ms();
       if (token.expired()) result.stats.status = token.status();
       break;
@@ -227,6 +252,7 @@ QueryResult GraphSession::execute_engine(EngineKind kind,
 
 QueryResult GraphSession::try_engine(EngineKind kind, const QueryRequest& req,
                                      const MatchingPlan& plan,
+                                     const GraphSnapshot& snap,
                                      const CancelToken& token,
                                      std::uint32_t attempt) {
   QueryResult result;
@@ -237,7 +263,7 @@ QueryResult GraphSession::try_engine(EngineKind kind, const QueryRequest& req,
     QueryRequest attempt_req = req;
     attempt_req.simt.fault.incarnation = req.simt.fault.incarnation + attempt;
     attempt_req.host.fault.incarnation = req.host.fault.incarnation + attempt;
-    result = execute_engine(kind, attempt_req, plan, token);
+    result = execute_engine(kind, attempt_req, plan, snap, token);
   } catch (const check_error& e) {
     // Precondition violation: the query (not the engine) is at fault.
     result = QueryResult{};
@@ -260,7 +286,7 @@ QueryResult GraphSession::try_engine(EngineKind kind, const QueryRequest& req,
 }
 
 QueryResult GraphSession::execute_resilient(
-    const QueryRequest& req, const MatchingPlan& plan,
+    const QueryRequest& req, const MatchingPlan& plan, const GraphSnapshot& snap,
     const std::shared_ptr<CancelToken>& token) {
   const ResilienceConfig& res = cfg_.resilience;
   const std::vector<EngineKind> chain =
@@ -321,7 +347,7 @@ QueryResult GraphSession::execute_resilient(
         }
       }
       ++total_attempts;
-      QueryResult r = try_engine(kind, req, plan, *token, attempt);
+      QueryResult r = try_engine(kind, req, plan, snap, *token, attempt);
       faults_sum += r.stats.faults_injected;
       units_sum += r.stats.units_recovered;
       r.served_by = kind;
@@ -366,10 +392,15 @@ void GraphSession::execute(QueryJob& job) {
       result.served_by = job.req.engine;
       result.attempts = 0;
     } else {
-      auto plan =
-          plan_cache_.get_or_compile(job.req.pattern, job.req.plan, &cache_hit);
-      result = execute_resilient(job.req, *plan, job.token);
+      // Pin the graph version for the query's whole life: plan compilation,
+      // retries and fallbacks all see one consistent snapshot even while a
+      // writer publishes newer epochs concurrently.
+      const std::shared_ptr<const GraphSnapshot> snap = dyn_.snapshot();
+      auto plan = plan_cache_.get_or_compile(job.req.pattern, job.req.plan,
+                                             snap->epoch(), &cache_hit);
+      result = execute_resilient(job.req, *plan, *snap, job.token);
       result.plan_cache_hit = cache_hit;
+      result.graph_epoch = snap->epoch();
     }
     cache_hit_rate_.set(plan_cache_.stats().hit_rate());
   } catch (const check_error& e) {
@@ -430,6 +461,169 @@ void GraphSession::execute(QueryJob& job) {
     active_tokens_.erase(job.token);
   }
   job.promise.set_value(std::move(result));
+}
+
+std::future<UpdateOutcome> GraphSession::submit_updates(UpdateBatch batch) {
+  auto promise = std::make_shared<std::promise<UpdateOutcome>>();
+  std::future<UpdateOutcome> future = promise->get_future();
+  auto shared = std::make_shared<UpdateBatch>(std::move(batch));
+  // Updates ride the same dispatcher pool as queries, at kHigh priority: a
+  // saturated read workload delays writes rather than starving them, and the
+  // same overload bound sheds both.
+  const bool admitted =
+      admission_.admit(QueryPriority::kHigh, [this, shared, promise] {
+        try {
+          promise->set_value(do_apply(*shared));
+        } catch (...) {
+          promise->set_exception(std::current_exception());
+        }
+      });
+  if (!admitted) {
+    UpdateOutcome rejected;
+    rejected.status = QueryStatus::kOverloaded;
+    rejected.epoch = dyn_.epoch();
+    rejected.error = "admission rejected: " +
+                     std::to_string(admission_.num_workers()) + " running + " +
+                     std::to_string(admission_.max_queue()) +
+                     " queued slots are full";
+    promise->set_value(std::move(rejected));
+  }
+  return future;
+}
+
+UpdateOutcome GraphSession::apply_updates(UpdateBatch batch) {
+  return submit_updates(std::move(batch)).get();
+}
+
+void GraphSession::compact() {
+  std::lock_guard<std::mutex> lock(update_mu_);
+  dyn_.compact();
+}
+
+UpdateOutcome GraphSession::do_apply(const UpdateBatch& batch) {
+  std::lock_guard<std::mutex> lock(update_mu_);
+  Timer total;
+  UpdateOutcome out;
+
+  const std::shared_ptr<const GraphSnapshot> from = dyn_.snapshot();
+  ApplyResult applied;
+  try {
+    applied = dyn_.apply(batch);
+  } catch (const check_error& e) {
+    updates_failed_.inc();
+    out.status = QueryStatus::kInvalidArgument;
+    out.error = e.what();
+    out.epoch = from->epoch();
+    out.update_ms = total.elapsed_ms();
+    update_latency_ms_.observe(out.update_ms);
+    return out;
+  } catch (const std::exception& e) {
+    // Includes FaultInjectedError (kUpdateApply chaos): the batch validated
+    // but its snapshot was never published, so the graph is unchanged.
+    updates_failed_.inc();
+    out.status = QueryStatus::kInternalError;
+    out.error = std::string("update apply failed: ") + e.what();
+    out.epoch = from->epoch();
+    out.update_ms = total.elapsed_ms();
+    update_latency_ms_.observe(out.update_ms);
+    return out;
+  }
+
+  out.epoch = applied.snapshot->epoch();
+  out.stats = applied.stats;
+  out.applied = applied.applied;
+  updates_applied_.inc();
+  edges_inserted_.inc(applied.stats.inserted);
+  edges_deleted_.inc(applied.stats.deleted);
+  graph_epoch_.set(static_cast<double>(out.epoch));
+
+  if (!applied.applied.empty()) {
+    Timer inc_timer;
+    std::lock_guard<std::mutex> standing_lock(standing_mu_);
+    for (auto& [id, sq] : standing_) {
+      Timer one;
+      const DeltaMatchResult d = sq.matcher->count_delta(from, applied.applied);
+      const double delta_ms = one.elapsed_ms();
+      sq.count = static_cast<std::uint64_t>(
+          static_cast<std::int64_t>(sq.count) + d.delta);
+      sq.epoch = out.epoch;
+      ++sq.batches;
+      if (sq.full_ms > 0.0 && delta_ms > 0.0) {
+        delta_speedup_.set(sq.full_ms / delta_ms);
+      }
+      StandingQueryUpdate upd;
+      upd.query_id = id;
+      upd.epoch = out.epoch;
+      upd.delta = d.delta;
+      upd.count = sq.count;
+      upd.delta_ms = delta_ms;
+      if (sq.on_update) sq.on_update(upd);
+      out.updates.push_back(std::move(upd));
+    }
+    out.incremental_ms = inc_timer.elapsed_ms();
+    incremental_latency_ms_.observe(out.incremental_ms);
+  }
+
+  out.update_ms = total.elapsed_ms();
+  update_latency_ms_.observe(out.update_ms);
+  return out;
+}
+
+std::uint64_t GraphSession::register_standing_query(StandingQueryConfig cfg) {
+  // Baseline: one full enumeration on the current version. Serialized with
+  // the update path so the (count, epoch) pair is consistent — a batch
+  // applied concurrently would otherwise race the baseline.
+  std::lock_guard<std::mutex> lock(update_mu_);
+  const std::shared_ptr<const GraphSnapshot> snap = dyn_.snapshot();
+
+  IncrementalOptions inc_opts;
+  inc_opts.plan = cfg.plan;
+  inc_opts.engine = cfg.engine;
+  auto matcher = std::make_shared<const IncrementalMatcher>(cfg.pattern,
+                                                            inc_opts);
+
+  auto plan = plan_cache_.get_or_compile(cfg.pattern, cfg.plan, snap->epoch());
+  HostEngineConfig host;
+  host.num_threads = std::max<std::size_t>(1, cfg_.host_threads_per_query);
+  Timer full_timer;
+  const HostMatchResult full = host_match(snap->view(), *plan, host);
+  const double full_ms = full_timer.elapsed_ms();
+
+  StandingQuery sq;
+  sq.pattern = cfg.pattern;
+  sq.matcher = std::move(matcher);
+  sq.on_update = std::move(cfg.on_update);
+  sq.count = full.count;
+  sq.epoch = snap->epoch();
+  sq.full_ms = full_ms;
+
+  std::lock_guard<std::mutex> standing_lock(standing_mu_);
+  const std::uint64_t id = next_standing_id_++;
+  standing_.emplace(id, std::move(sq));
+  standing_queries_.set(static_cast<double>(standing_.size()));
+  return id;
+}
+
+bool GraphSession::unregister_standing_query(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(standing_mu_);
+  const bool erased = standing_.erase(id) > 0;
+  standing_queries_.set(static_cast<double>(standing_.size()));
+  return erased;
+}
+
+std::optional<StandingQueryInfo> GraphSession::standing_query(
+    std::uint64_t id) const {
+  std::lock_guard<std::mutex> lock(standing_mu_);
+  auto it = standing_.find(id);
+  if (it == standing_.end()) return std::nullopt;
+  StandingQueryInfo info;
+  info.id = id;
+  info.pattern = it->second.pattern;
+  info.count = it->second.count;
+  info.epoch = it->second.epoch;
+  info.batches_observed = it->second.batches;
+  info.full_ms = it->second.full_ms;
+  return info;
 }
 
 }  // namespace stm

@@ -32,18 +32,23 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_set>
+#include <vector>
 
 #include "core/cancel.hpp"
 #include "core/config.hpp"
 #include "core/fault.hpp"
 #include "core/host_engine.hpp"
 #include "core/query_stats.hpp"
+#include "dynamic/dynamic_graph.hpp"
+#include "dynamic/incremental.hpp"
 #include "graph/graph.hpp"
 #include "pattern/pattern.hpp"
 #include "service/admission.hpp"
@@ -100,8 +105,67 @@ struct QueryResult {
   bool degraded = false;
   /// Engine calls issued for this query across retries and fallbacks.
   std::uint32_t attempts = 1;
+  /// Graph epoch the query executed against (its snapshot's version).
+  std::uint64_t graph_epoch = 0;
   /// Human-readable detail; populated for every non-kOk status.
   std::string error;
+
+  bool ok() const { return status == QueryStatus::kOk; }
+};
+
+/// Delivered to a standing query's subscriber (and collected into the
+/// UpdateOutcome) once per applied batch.
+struct StandingQueryUpdate {
+  std::uint64_t query_id = 0;
+  /// Epoch after the batch.
+  std::uint64_t epoch = 0;
+  /// Exact match-count change caused by the batch.
+  std::int64_t delta = 0;
+  /// Cumulative match count after the batch.
+  std::uint64_t count = 0;
+  /// Wall time of this query's delta computation, ms.
+  double delta_ms = 0.0;
+};
+
+struct StandingQueryConfig {
+  Pattern pattern;
+  /// Count semantics (induced must be kEdge; see IncrementalMatcher).
+  PlanOptions plan;
+  /// Engine for the anchored delta enumerations.
+  DeltaEngine engine = DeltaEngine::kHost;
+  /// Optional subscriber, invoked synchronously per applied batch from the
+  /// update path (keep it cheap; it runs under the writer lock).
+  std::function<void(const StandingQueryUpdate&)> on_update;
+};
+
+struct StandingQueryInfo {
+  std::uint64_t id = 0;
+  Pattern pattern;
+  /// Current cumulative count (initial full enumeration + batch deltas).
+  std::uint64_t count = 0;
+  /// Epoch the count is valid for.
+  std::uint64_t epoch = 0;
+  std::uint64_t batches_observed = 0;
+  /// Wall time of the registration-time full enumeration, ms — the baseline
+  /// of the delta-vs-full speedup gauge.
+  double full_ms = 0.0;
+};
+
+/// Result of one apply_updates call.
+struct UpdateOutcome {
+  QueryStatus status = QueryStatus::kOk;
+  std::string error;
+  /// Epoch after the batch (unchanged when the batch failed or was a no-op).
+  std::uint64_t epoch = 0;
+  UpdateStats stats;
+  /// The effective delta the batch applied.
+  DeltaEdges applied;
+  /// Wall time of the whole update (apply + standing-query deltas), ms.
+  double update_ms = 0.0;
+  /// Wall time of the standing-query delta computations, ms.
+  double incremental_ms = 0.0;
+  /// Per-standing-query count deltas delivered for this batch.
+  std::vector<StandingQueryUpdate> updates;
 
   bool ok() const { return status == QueryStatus::kOk; }
 };
@@ -130,6 +194,9 @@ struct SessionConfig {
   /// Engine threads each host-path query runs on.
   std::size_t host_threads_per_query = 1;
   ResilienceConfig resilience;
+  /// Chaos for the update path (FaultSite::kUpdateApply: a batch fails after
+  /// validation, before its snapshot is published; the graph is unchanged).
+  FaultConfig update_fault;
 };
 
 class GraphSession {
@@ -140,8 +207,18 @@ class GraphSession {
   GraphSession(const GraphSession&) = delete;
   GraphSession& operator=(const GraphSession&) = delete;
 
-  const Graph& graph() const { return graph_; }
+  /// The seed CSR the session was created with (stable address; does not
+  /// reflect applied updates — use snapshot() for the live version).
+  const Graph& graph() const { return dyn_.base(); }
   const SessionConfig& config() const { return cfg_; }
+
+  /// The current graph version. Queries submitted after this call may run
+  /// on a newer version; a held snapshot stays valid and consistent.
+  std::shared_ptr<const GraphSnapshot> snapshot() const {
+    return dyn_.snapshot();
+  }
+  /// Current graph epoch (bumped per applied batch).
+  std::uint64_t epoch() const { return dyn_.epoch(); }
 
   /// Asynchronous entry point. The future is always fulfilled — with
   /// kOverloaded immediately when admission rejects, with the query result
@@ -150,6 +227,31 @@ class GraphSession {
 
   /// Synchronous convenience wrapper: submit + wait.
   QueryResult run(QueryRequest req);
+
+  /// Submits an update batch through admission (updates share the dispatcher
+  /// pool with queries and are shed with kOverloaded under the same bounds).
+  /// Batches are serialized by a writer lock; each applied batch bumps the
+  /// epoch, publishes a new snapshot, and delivers count deltas to every
+  /// standing query. A failed batch (validation or injected fault) leaves
+  /// the graph untouched.
+  std::future<UpdateOutcome> submit_updates(UpdateBatch batch);
+
+  /// Synchronous convenience wrapper: submit_updates + wait.
+  UpdateOutcome apply_updates(UpdateBatch batch);
+
+  /// Rebuilds the CSR from the current version (same logical graph, same
+  /// epoch). Serialized with updates.
+  void compact();
+
+  /// Registers a pattern for per-batch count deltas. Runs one full
+  /// enumeration on the current snapshot to establish the baseline count
+  /// (and the full-cost reference of the speedup gauge). Throws check_error
+  /// for unsupported options (e.g. vertex-induced matching).
+  std::uint64_t register_standing_query(StandingQueryConfig cfg);
+  /// Removes a standing query; false when the id is unknown.
+  bool unregister_standing_query(std::uint64_t id);
+  /// Current state of a standing query, if registered.
+  std::optional<StandingQueryInfo> standing_query(std::uint64_t id) const;
 
   /// Blocks until every submitted query has completed.
   void drain();
@@ -166,25 +268,45 @@ class GraphSession {
 
  private:
   struct QueryJob;
+  struct StandingQuery {
+    Pattern pattern;
+    std::shared_ptr<const IncrementalMatcher> matcher;
+    std::function<void(const StandingQueryUpdate&)> on_update;
+    std::uint64_t count = 0;
+    std::uint64_t epoch = 0;
+    std::uint64_t batches = 0;
+    double full_ms = 0.0;
+  };
 
   void execute(QueryJob& job);
   /// One engine call on `kind`, exceptions contained (check_error →
   /// kInvalidArgument, anything else → kInternalError).
   QueryResult try_engine(EngineKind kind, const QueryRequest& req,
-                         const MatchingPlan& plan, const CancelToken& token,
-                         std::uint32_t attempt);
+                         const MatchingPlan& plan, const GraphSnapshot& snap,
+                         const CancelToken& token, std::uint32_t attempt);
   QueryResult execute_engine(EngineKind kind, const QueryRequest& req,
                              const MatchingPlan& plan,
+                             const GraphSnapshot& snap,
                              const CancelToken& token);
   /// Retry + breaker + fallback-chain walk around try_engine.
   QueryResult execute_resilient(const QueryRequest& req,
                                 const MatchingPlan& plan,
+                                const GraphSnapshot& snap,
                                 const std::shared_ptr<CancelToken>& token);
+  /// The update path proper (runs on a dispatcher worker).
+  UpdateOutcome do_apply(const UpdateBatch& batch);
 
-  Graph graph_;
+  MutableGraph dyn_;
   SessionConfig cfg_;
   PlanCache plan_cache_;
   MetricsRegistry metrics_;
+
+  /// Serializes apply/compact (single logical writer); never held while an
+  /// engine runs a query.
+  std::mutex update_mu_;
+  mutable std::mutex standing_mu_;
+  std::map<std::uint64_t, StandingQuery> standing_;
+  std::uint64_t next_standing_id_ = 1;
 
   std::mutex tokens_mu_;
   std::unordered_set<std::shared_ptr<CancelToken>> active_tokens_;
@@ -204,11 +326,20 @@ class GraphSession {
   Counter& recovery_units_total_;
   Counter& matches_total_;
   Counter& engine_scalar_ops_;
+  Counter& updates_applied_;
+  Counter& updates_failed_;
+  Counter& edges_inserted_;
+  Counter& edges_deleted_;
   Gauge& inflight_;
   Gauge& queue_depth_;
   Gauge& cache_hit_rate_;
+  Gauge& graph_epoch_;
+  Gauge& delta_speedup_;
+  Gauge& standing_queries_;
   Histogram& latency_ms_;
   Histogram& queue_wait_ms_;
+  Histogram& update_latency_ms_;
+  Histogram& incremental_latency_ms_;
 
   // One breaker per engine kind, guarded by breakers_mu_ (engine calls run
   // outside the lock; only the state transitions are serialized). The
