@@ -74,6 +74,34 @@ void GraphBuilder::set_num_vertices(VertexId n) {
   n_ = std::max(n_, n);
 }
 
+Graph disjoint_union(const Graph& a, const Graph& b) {
+  const VertexId na = a.num_vertices();
+  const VertexId nb = b.num_vertices();
+  std::vector<EdgeId> row_ptr;
+  row_ptr.reserve(static_cast<std::size_t>(na) + nb + 1);
+  row_ptr.insert(row_ptr.end(), a.row_ptr().begin(), a.row_ptr().end());
+  if (row_ptr.empty()) row_ptr.push_back(0);
+  const EdgeId base = row_ptr.back();
+  // b's row pointers continue where a's adjacency ends; entry 0 duplicates
+  // row_ptr.back() and is skipped.
+  for (std::size_t i = 1; i < b.row_ptr().size(); ++i)
+    row_ptr.push_back(base + b.row_ptr()[i]);
+
+  std::vector<VertexId> col_idx;
+  col_idx.reserve(a.col_idx().size() + b.col_idx().size());
+  col_idx.insert(col_idx.end(), a.col_idx().begin(), a.col_idx().end());
+  for (VertexId v : b.col_idx()) col_idx.push_back(v + na);
+
+  std::vector<Label> labels;
+  if (a.is_labeled() || b.is_labeled()) {
+    labels.assign(static_cast<std::size_t>(na) + nb, Label{0});
+    for (VertexId v = 0; v < na; ++v) labels[v] = a.label(v);
+    for (VertexId v = 0; v < nb; ++v)
+      labels[static_cast<std::size_t>(na) + v] = b.label(v);
+  }
+  return Graph(std::move(row_ptr), std::move(col_idx), std::move(labels));
+}
+
 Graph GraphBuilder::build() {
   std::sort(edges_.begin(), edges_.end());
   edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());

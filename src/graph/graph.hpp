@@ -69,6 +69,13 @@ class Graph {
   std::vector<Label> labels_;  // empty = unlabeled
 };
 
+/// The disjoint union of a and b: b's vertices are shifted past a's, no
+/// edges cross. Labeled when either input is labeled (the unlabeled side
+/// keeps implicit label 0, matching Graph::label). Counts of connected
+/// patterns are additive over the union — the metamorphic relation the
+/// conformance harness checks.
+Graph disjoint_union(const Graph& a, const Graph& b);
+
 /// Incremental, order-insensitive construction of an undirected Graph.
 /// Self-loops are dropped; duplicate edges are deduplicated.
 class GraphBuilder {

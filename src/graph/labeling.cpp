@@ -19,6 +19,19 @@ Graph with_random_labels(const Graph& g, std::size_t num_labels,
   return g.with_labels(random_labels(g.num_vertices(), num_labels, seed));
 }
 
+Graph map_label_values(const Graph& g, const std::vector<Label>& mapping) {
+  if (!g.is_labeled()) return g;
+  std::vector<Label> labels(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const Label l = g.label(v);
+    STM_CHECK_MSG(l < mapping.size(),
+                  "label " << static_cast<int>(l) << " not covered by mapping");
+    STM_CHECK(mapping[l] < kMaxLabels);
+    labels[v] = mapping[l];
+  }
+  return g.with_labels(std::move(labels));
+}
+
 std::vector<std::size_t> label_histogram(const Graph& g) {
   std::vector<std::size_t> hist(g.num_labels(), 0);
   for (VertexId v = 0; v < g.num_vertices(); ++v) ++hist[g.label(v)];

@@ -19,6 +19,13 @@ std::vector<Label> random_labels(VertexId n, std::size_t num_labels,
 Graph with_random_labels(const Graph& g, std::size_t num_labels,
                          std::uint64_t seed);
 
+/// Returns g with every label l replaced by mapping[l]. `mapping` must cover
+/// all labels present and map into [0, kMaxLabels). When the mapping is a
+/// bijection, match counts against a pattern mapped the same way are
+/// invariant — the label-permutation equivariance the conformance harness
+/// checks. Unlabeled graphs are returned unchanged.
+Graph map_label_values(const Graph& g, const std::vector<Label>& mapping);
+
 /// Per-label vertex counts; size == g.num_labels().
 std::vector<std::size_t> label_histogram(const Graph& g);
 

@@ -128,6 +128,20 @@ Pattern Pattern::relabeled(const std::vector<std::size_t>& perm) const {
   return p;
 }
 
+std::vector<std::pair<int, int>> Pattern::edges() const {
+  std::vector<std::pair<int, int>> result;
+  for (std::size_t u = 0; u < n_; ++u)
+    for (std::size_t v = u + 1; v < n_; ++v)
+      if (has_edge(u, v))
+        result.emplace_back(static_cast<int>(u), static_cast<int>(v));
+  return result;
+}
+
+std::vector<Label> Pattern::label_vector() const {
+  if (!labeled_) return {};
+  return {labels_.begin(), labels_.begin() + n_};
+}
+
 std::string Pattern::to_string() const {
   std::ostringstream os;
   bool first = true;

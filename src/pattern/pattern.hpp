@@ -61,6 +61,14 @@ class Pattern {
   /// perm[i].
   Pattern relabeled(const std::vector<std::size_t>& perm) const;
 
+  /// The undirected edge list (u < v, sorted) — the inverse of the edge-list
+  /// constructor, used by the conformance harness to mutate and serialize
+  /// patterns.
+  std::vector<std::pair<int, int>> edges() const;
+
+  /// The labels as a vector (empty when unlabeled).
+  std::vector<Label> label_vector() const;
+
   /// "0-1,1-2,..." canonical string (sorted edges), with ":labels" suffix
   /// when labeled.
   std::string to_string() const;

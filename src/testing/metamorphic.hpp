@@ -1,0 +1,68 @@
+// Metamorphic conformance relations.
+//
+// Where the differential oracle checks that independent executors agree on
+// one input, the metamorphic layer checks that the counts respect the
+// algebra of graph isomorphism — properties that hold for *any* correct
+// matcher, no second implementation required:
+//
+//   relabel-invariance      count(π(G), Q) = count(G, Q) for any vertex
+//                           relabeling π (exercised via graph/reorder and
+//                           random permutations)
+//   disjoint-union          count(G ⊎ H, Q) = count(G, Q) + count(H, Q)
+//   additivity              for connected Q
+//   label equivariance      count(σ(G), σ(Q)) = count(G, Q) for any label
+//                           bijection σ
+//   automorphism            embeddings(G, Q) = unique(G, Q) · |Aut(Q)|
+//   divisibility
+//   deletion consistency    count(G) + Δ(delete e) = count(G \ e), with Δ
+//                           from the IncrementalMatcher (edge-induced only)
+//
+// A violation pinpoints a bug even when every engine shares it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "testing/workload.hpp"
+
+namespace stm::harness {
+
+enum class Relation : std::uint8_t {
+  kRelabelInvariance = 0,
+  kDisjointUnionAdditivity,
+  kLabelEquivariance,
+  kAutomorphismDivisibility,
+  kDeletionConsistency,
+};
+inline constexpr std::size_t kNumRelations = 5;
+
+const char* to_string(Relation relation);
+
+struct MetamorphicReport {
+  /// Individual relation instances evaluated (a skipped relation counts 0).
+  std::uint64_t checked = 0;
+  /// One human-readable line per violated instance.
+  std::vector<std::string> violations;
+
+  bool ok() const { return violations.empty(); }
+  std::string describe() const;
+};
+
+/// Checks every applicable relation on `c`. `seed` drives the randomized
+/// choices (which permutation, which companion graph, which deleted edge) so
+/// a report is reproducible from (case, seed).
+///
+/// Counts are produced by the sequential recursive executor — engine
+/// cross-agreement is the differential oracle's job; this layer only needs
+/// one trusted counter on both sides of each relation. The same test-only
+/// STMATCH_FUZZ_SABOTAGE hook as the oracle supports
+/// `metamorphic_off_by_one`, which perturbs that counter so the relation
+/// checks themselves can be exercised.
+MetamorphicReport check_metamorphic(const TestCase& c, std::uint64_t seed);
+
+/// Minimizer predicate: true iff check_metamorphic(c, seed) finds a
+/// violation.
+bool metamorphic_violated(const TestCase& c, std::uint64_t seed);
+
+}  // namespace stm::harness

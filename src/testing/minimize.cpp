@@ -1,0 +1,260 @@
+#include "testing/minimize.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace stm::harness {
+
+namespace {
+
+/// Bookkeeping shared by all shrink passes: counts probes against the
+/// budget and applies the predicate.
+class Prober {
+ public:
+  Prober(const FailurePredicate& fails, const MinimizeOptions& opts)
+      : fails_(fails), opts_(opts) {}
+
+  bool exhausted() const { return probes_ >= opts_.max_probes; }
+  std::uint64_t probes() const { return probes_; }
+
+  bool still_fails(const TestCase& candidate) {
+    if (exhausted()) return false;
+    ++probes_;
+    // ddmin "unresolved" outcome: a shrink can produce a candidate the
+    // engines reject outright (e.g. a labeled pattern over a graph whose
+    // labeled vertices were all removed). Such a probe is not the failure
+    // being chased, so the chunk is kept.
+    try {
+      return fails_(candidate);
+    } catch (const std::exception&) {
+      return false;
+    }
+  }
+
+ private:
+  const FailurePredicate& fails_;
+  const MinimizeOptions& opts_;
+  std::uint64_t probes_ = 0;
+};
+
+/// The subgraph induced on the kept vertices, relabeled compactly. Labels
+/// follow their vertices.
+Graph induced_subgraph(const Graph& g, const std::vector<bool>& keep) {
+  std::vector<VertexId> new_id(g.num_vertices(), kNoVertex);
+  VertexId next = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    if (keep[v]) new_id[v] = next++;
+  GraphBuilder builder(next);
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    if (!keep[u]) continue;
+    for (VertexId v : g.neighbors(u))
+      if (u < v && keep[v]) builder.add_edge(new_id[u], new_id[v]);
+  }
+  Graph sub = builder.build();
+  if (g.is_labeled() && next > 0) {
+    std::vector<Label> labels(next);
+    for (VertexId v = 0; v < g.num_vertices(); ++v)
+      if (keep[v]) labels[new_id[v]] = g.label(v);
+    sub = sub.with_labels(std::move(labels));
+  }
+  return sub;
+}
+
+std::vector<std::pair<VertexId, VertexId>> edge_list(const Graph& g) {
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  for (VertexId u = 0; u < g.num_vertices(); ++u)
+    for (VertexId v : g.neighbors(u))
+      if (u < v) edges.emplace_back(u, v);
+  return edges;
+}
+
+Graph from_edge_list(VertexId n,
+                     const std::vector<std::pair<VertexId, VertexId>>& edges,
+                     const Graph& labels_from) {
+  GraphBuilder builder(n);
+  for (auto [u, v] : edges) builder.add_edge(u, v);
+  Graph g = builder.build();
+  if (labels_from.is_labeled() && n > 0) {
+    std::vector<Label> labels(n);
+    for (VertexId v = 0; v < n; ++v) labels[v] = labels_from.label(v);
+    g = g.with_labels(std::move(labels));
+  }
+  return g;
+}
+
+/// ddmin-style pass: remove chunks of vertices, halving the chunk size.
+bool shrink_vertices(TestCase& c, Prober& prober) {
+  bool progress = false;
+  VertexId chunk = std::max<VertexId>(1, c.graph.num_vertices() / 2);
+  while (chunk >= 1 && !prober.exhausted()) {
+    bool removed_any = false;
+    for (VertexId start = 0; start < c.graph.num_vertices();) {
+      const VertexId n = c.graph.num_vertices();
+      std::vector<bool> keep(n, true);
+      const VertexId end = std::min<VertexId>(n, start + chunk);
+      for (VertexId v = start; v < end; ++v) keep[v] = false;
+      TestCase candidate = c;
+      candidate.graph = induced_subgraph(c.graph, keep);
+      if (prober.still_fails(candidate)) {
+        c = std::move(candidate);
+        progress = removed_any = true;
+        // ids shifted down: retry the same window against the new graph
+      } else {
+        start += chunk;
+      }
+      if (prober.exhausted()) break;
+    }
+    if (!removed_any) chunk /= 2;
+  }
+  return progress;
+}
+
+bool shrink_edges(TestCase& c, Prober& prober) {
+  bool progress = false;
+  auto edges = edge_list(c.graph);
+  std::size_t chunk = std::max<std::size_t>(1, edges.size() / 2);
+  while (chunk >= 1 && !prober.exhausted()) {
+    bool removed_any = false;
+    for (std::size_t start = 0; start < edges.size();) {
+      std::vector<std::pair<VertexId, VertexId>> kept;
+      kept.reserve(edges.size());
+      const std::size_t end = std::min(edges.size(), start + chunk);
+      for (std::size_t i = 0; i < edges.size(); ++i)
+        if (i < start || i >= end) kept.push_back(edges[i]);
+      TestCase candidate = c;
+      candidate.graph =
+          from_edge_list(c.graph.num_vertices(), kept, c.graph);
+      if (prober.still_fails(candidate)) {
+        c = std::move(candidate);
+        edges = std::move(kept);
+        progress = removed_any = true;
+      } else {
+        start += chunk;
+      }
+      if (prober.exhausted()) break;
+    }
+    if (!removed_any) chunk /= 2;
+  }
+  return progress;
+}
+
+/// Pattern with vertex `drop` removed (edges re-indexed); empty optional
+/// when the remainder would be disconnected or too small.
+Pattern drop_pattern_vertex(const Pattern& p, std::size_t drop) {
+  std::vector<std::pair<int, int>> edges;
+  for (auto [u, v] : p.edges()) {
+    if (u == static_cast<int>(drop) || v == static_cast<int>(drop)) continue;
+    edges.emplace_back(u - (u > static_cast<int>(drop) ? 1 : 0),
+                       v - (v > static_cast<int>(drop) ? 1 : 0));
+  }
+  std::vector<Label> labels = p.label_vector();
+  if (!labels.empty()) labels.erase(labels.begin() + static_cast<long>(drop));
+  return Pattern(p.size() - 1, edges, std::move(labels));
+}
+
+bool shrink_pattern(TestCase& c, Prober& prober) {
+  bool progress = false;
+  // Vertex drops first (largest reduction), then edge drops.
+  bool changed = true;
+  while (changed && !prober.exhausted()) {
+    changed = false;
+    for (std::size_t v = 0; v < c.pattern.size() && c.pattern.size() > 2; ++v) {
+      const Pattern smaller = drop_pattern_vertex(c.pattern, v);
+      if (!smaller.is_connected()) continue;
+      TestCase candidate = c;
+      candidate.pattern = smaller;
+      if (prober.still_fails(candidate)) {
+        c = std::move(candidate);
+        progress = changed = true;
+        break;
+      }
+    }
+  }
+  changed = true;
+  while (changed && !prober.exhausted()) {
+    changed = false;
+    const auto edges = c.pattern.edges();
+    for (std::size_t i = 0; i < edges.size() && edges.size() > 1; ++i) {
+      std::vector<std::pair<int, int>> kept;
+      for (std::size_t j = 0; j < edges.size(); ++j)
+        if (j != i) kept.push_back(edges[j]);
+      const Pattern smaller(c.pattern.size(), kept, c.pattern.label_vector());
+      if (!smaller.is_connected()) continue;
+      TestCase candidate = c;
+      candidate.pattern = smaller;
+      if (prober.still_fails(candidate)) {
+        c = std::move(candidate);
+        progress = changed = true;
+        break;
+      }
+    }
+  }
+  return progress;
+}
+
+bool shrink_config(TestCase& c, Prober& prober) {
+  bool progress = false;
+  // Each step rewrites one knob to its simplest value (returning false when
+  // it is already there); kept only if the failure survives. Applied in a
+  // fixed order so minimization is stable.
+  const std::vector<std::function<bool(TestCase&)>> steps = {
+      [](TestCase& t) { return std::exchange(t.simt.device.num_blocks, 1u) != 1u; },
+      [](TestCase& t) {
+        return std::exchange(t.simt.device.warps_per_block, 1u) != 1u;
+      },
+      [](TestCase& t) { return std::exchange(t.simt.unroll, 1u) != 1u; },
+      [](TestCase& t) { return std::exchange(t.simt.chunk_size, 1u) != 1u; },
+      [](TestCase& t) { return std::exchange(t.simt.local_steal, false); },
+      [](TestCase& t) { return std::exchange(t.simt.global_steal, false); },
+      [](TestCase& t) { return std::exchange(t.simt.stop_level, 1u) != 1u; },
+      [](TestCase& t) { return std::exchange(t.simt.detect_level, 0u) != 0u; },
+      [](TestCase& t) {
+        return std::exchange(t.host.num_threads, std::size_t{1}) != 1u;
+      },
+      [](TestCase& t) {
+        return std::exchange(t.host.chunk_size, VertexId{1}) != 1u;
+      },
+      [](TestCase& t) { return !std::exchange(t.plan.code_motion, true); },
+  };
+  for (const auto& step : steps) {
+    if (prober.exhausted()) break;
+    TestCase candidate = c;
+    if (!step(candidate)) continue;  // knob already at its simplest value
+    if (prober.still_fails(candidate)) {
+      c = std::move(candidate);
+      progress = true;
+    }
+  }
+  return progress;
+}
+
+}  // namespace
+
+MinimizeResult minimize(const TestCase& failing, const FailurePredicate& fails,
+                        const MinimizeOptions& opts) {
+  STM_CHECK(static_cast<bool>(fails));
+  MinimizeResult result;
+  result.reduced = failing;
+  Prober prober(fails, opts);
+  if (!prober.still_fails(failing)) {
+    result.probes = prober.probes();
+    return result;  // still_failing = false: nothing to minimize
+  }
+  result.still_failing = true;
+  for (std::uint32_t round = 0; round < opts.max_rounds; ++round) {
+    ++result.rounds;
+    bool progress = false;
+    progress |= shrink_vertices(result.reduced, prober);
+    progress |= shrink_edges(result.reduced, prober);
+    progress |= shrink_pattern(result.reduced, prober);
+    progress |= shrink_config(result.reduced, prober);
+    if (!progress || prober.exhausted()) break;
+  }
+  result.probes = prober.probes();
+  return result;
+}
+
+}  // namespace stm::harness

@@ -1,0 +1,133 @@
+#include "testing/oracle.hpp"
+
+#include <cstdlib>
+#include <memory>
+#include <sstream>
+#include <string_view>
+
+#include "baselines/reference.hpp"
+#include "core/engine.hpp"
+#include "core/host_engine.hpp"
+#include "core/recursive.hpp"
+#include "dynamic/dynamic_graph.hpp"
+#include "dynamic/incremental.hpp"
+#include "pattern/matching_order.hpp"
+#include "util/check.hpp"
+
+namespace stm::harness {
+
+const char* to_string(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kReference:
+      return "reference";
+    case EngineKind::kRecursive:
+      return "recursive";
+    case EngineKind::kHost:
+      return "host";
+    case EngineKind::kSimt:
+      return "simt";
+    case EngineKind::kIncremental:
+      return "incremental";
+  }
+  return "unknown";
+}
+
+namespace {
+
+bool sabotage_host_off_by_one() {
+  const char* mode = std::getenv("STMATCH_FUZZ_SABOTAGE");
+  return mode != nullptr && std::string_view(mode) == "host_off_by_one";
+}
+
+/// Replays c.graph as a single insertion batch over an edgeless base with
+/// the same vertices and labels: count must equal 0 + delta.
+std::uint64_t incremental_replay(const TestCase& c) {
+  const Graph& g = c.graph;
+  Graph empty(std::vector<EdgeId>(static_cast<std::size_t>(g.num_vertices()) + 1, 0),
+              {}, g.labels());
+  MutableGraph mutable_graph(std::move(empty));
+
+  IncrementalOptions opts;
+  opts.plan = c.plan;
+  opts.engine = DeltaEngine::kHost;
+  IncrementalMatcher matcher(c.pattern, opts);
+
+  UpdateBatch batch;
+  for (VertexId u = 0; u < g.num_vertices(); ++u)
+    for (VertexId v : g.neighbors(u))
+      if (u < v) batch.insertions.emplace_back(u, v);
+
+  auto from = mutable_graph.snapshot();
+  if (batch.insertions.empty()) {
+    return 0;  // edgeless graph: connected patterns with >= 2 vertices
+               // cannot embed, and the delta of an empty batch is zero
+  }
+  ApplyResult applied = mutable_graph.apply(batch);
+  const DeltaMatchResult d = matcher.count_delta(from, applied.applied);
+  STM_CHECK_MSG(d.delta >= 0, "replay over an empty base produced a negative"
+                              " delta of " << d.delta);
+  return static_cast<std::uint64_t>(d.delta);
+}
+
+}  // namespace
+
+OracleReport run_oracle(const TestCase& c, const OracleOptions& opts) {
+  STM_CHECK_MSG(c.pattern.size() >= 1, "test case has an empty pattern");
+  OracleReport report;
+
+  const ReferenceOptions ref_opts{c.plan.induced, c.plan.count_mode};
+  const GraphView view(c.graph);
+  report.expected = reference_count(view, c.pattern, ref_opts);
+  report.counts.push_back({EngineKind::kReference, report.expected});
+
+  const MatchingPlan plan(reorder_for_matching(c.pattern), c.plan);
+  const std::uint64_t recursive =
+      recursive_count_range(view, plan, 0, c.graph.num_vertices());
+  report.counts.push_back({EngineKind::kRecursive, recursive});
+
+  if (opts.run_host) {
+    std::uint64_t host = host_match(view, plan, c.host).count;
+    // Test-only sabotage (see header): exercises detection + minimization.
+    if (host > 0 && sabotage_host_off_by_one()) ++host;
+    report.counts.push_back({EngineKind::kHost, host});
+  } else {
+    report.skipped.push_back(EngineKind::kHost);
+  }
+
+  if (opts.run_simt) {
+    report.counts.push_back(
+        {EngineKind::kSimt, stmatch_match(view, plan, c.simt).count});
+  } else {
+    report.skipped.push_back(EngineKind::kSimt);
+  }
+
+  // The incremental path cannot express vertex-induced semantics (an
+  // induced match can flip without containing a delta edge) and needs an
+  // anchorable edge, i.e. a pattern of >= 2 vertices.
+  if (opts.run_incremental && c.plan.induced == Induced::kEdge &&
+      c.pattern.size() >= 2 &&
+      c.graph.num_edges() <= opts.incremental_max_edges) {
+    report.counts.push_back({EngineKind::kIncremental, incremental_replay(c)});
+  } else {
+    report.skipped.push_back(EngineKind::kIncremental);
+  }
+
+  for (const EngineCount& e : report.counts)
+    if (e.count != report.expected) report.agreed = false;
+  return report;
+}
+
+bool oracle_disagrees(const TestCase& c) { return !run_oracle(c).agreed; }
+
+std::string OracleReport::describe() const {
+  std::ostringstream os;
+  os << (agreed ? "AGREED" : "DISAGREED") << " expected=" << expected << "\n";
+  for (const EngineCount& e : counts) {
+    os << "  " << to_string(e.engine) << " = " << e.count
+       << (e.count == expected ? "" : "   <-- MISMATCH") << "\n";
+  }
+  for (const EngineKind k : skipped) os << "  " << to_string(k) << " skipped\n";
+  return os.str();
+}
+
+}  // namespace stm::harness

@@ -1,0 +1,290 @@
+#include "testing/repro.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace stm::harness {
+
+namespace {
+
+constexpr const char* kMagic = "stmatch-repro";
+constexpr int kVersion = 1;
+
+void write_edges(std::ostream& os, const char* key,
+                 const std::vector<std::pair<VertexId, VertexId>>& edges) {
+  for (const auto& [u, v] : edges) os << key << " " << u << " " << v << "\n";
+}
+
+/// Tokenizing line reader: skips blank lines and `#` comments, splits each
+/// remaining line into whitespace-separated tokens, and remembers the raw
+/// line for error messages.
+class LineReader {
+ public:
+  explicit LineReader(const std::string& text) : in_(text) {}
+
+  /// Advances to the next non-empty line. Returns false at end of input.
+  bool next() {
+    std::string line;
+    while (std::getline(in_, line)) {
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty() || line[0] == '#') continue;
+      raw_ = line;
+      tokens_.clear();
+      std::istringstream ls(line);
+      std::string tok;
+      while (ls >> tok) tokens_.push_back(std::move(tok));
+      if (!tokens_.empty()) return true;
+    }
+    return false;
+  }
+
+  /// next() that throws instead of returning false.
+  void require_next(const char* what) {
+    STM_CHECK_MSG(next(), "repro ended early: expected " << what);
+  }
+
+  const std::string& raw() const { return raw_; }
+  const std::vector<std::string>& tokens() const { return tokens_; }
+  const std::string& key() const { return tokens_.front(); }
+
+  void expect_key(const char* key) const {
+    STM_CHECK_MSG(key_is(key), "repro: expected '" << key << "' but got \""
+                                                   << raw_ << "\"");
+  }
+  bool key_is(const char* key) const { return tokens_.front() == key; }
+
+  void expect_arity(std::size_t args) const {
+    STM_CHECK_MSG(tokens_.size() == args + 1,
+                  "repro: '" << key() << "' takes " << args
+                             << " value(s) but got \"" << raw_ << "\"");
+  }
+
+  std::uint64_t u64(std::size_t i) const {
+    STM_CHECK_MSG(i < tokens_.size(),
+                  "repro: missing value in \"" << raw_ << "\"");
+    const std::string& tok = tokens_[i];
+    std::uint64_t value = 0;
+    std::size_t used = 0;
+    try {
+      value = std::stoull(tok, &used, 0);
+    } catch (const std::exception&) {
+      used = 0;
+    }
+    STM_CHECK_MSG(used == tok.size() && tok[0] != '-',
+                  "repro: \"" << tok << "\" is not a number in \"" << raw_
+                              << "\"");
+    return value;
+  }
+
+  bool boolean(std::size_t i) const {
+    const std::uint64_t value = u64(i);
+    STM_CHECK_MSG(value <= 1, "repro: \"" << tokens_[i]
+                                          << "\" is not 0/1 in \"" << raw_
+                                          << "\"");
+    return value == 1;
+  }
+
+ private:
+  std::istringstream in_;
+  std::string raw_;
+  std::vector<std::string> tokens_;
+};
+
+std::vector<Label> parse_labels(const LineReader& reader, std::size_t count) {
+  reader.expect_arity(count);
+  std::vector<Label> labels(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t value = reader.u64(i + 1);
+    STM_CHECK_MSG(value < kMaxLabels, "repro: label " << value
+                                                      << " out of range in \""
+                                                      << reader.raw() << "\"");
+    labels[i] = static_cast<Label>(value);
+  }
+  return labels;
+}
+
+}  // namespace
+
+std::string to_repro(const TestCase& c) {
+  std::ostringstream os;
+  os << kMagic << " " << kVersion << "\n";
+  os << "seed " << c.seed << "\n";
+  os << "family " << to_string(c.family) << "\n";
+
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  for (VertexId u = 0; u < c.graph.num_vertices(); ++u)
+    for (VertexId v : c.graph.neighbors(u))
+      if (u < v) edges.emplace_back(u, v);
+  os << "graph " << c.graph.num_vertices() << " " << edges.size() << "\n";
+  write_edges(os, "e", edges);
+  if (c.graph.is_labeled()) {
+    os << "labels";
+    for (const Label l : c.graph.labels()) os << " " << +l;
+    os << "\n";
+  }
+
+  std::vector<std::pair<VertexId, VertexId>> pattern_edges;
+  for (const auto& [u, v] : c.pattern.edges())
+    pattern_edges.emplace_back(static_cast<VertexId>(u),
+                               static_cast<VertexId>(v));
+  os << "pattern " << c.pattern.size() << " " << pattern_edges.size() << "\n";
+  write_edges(os, "pe", pattern_edges);
+  if (c.pattern.is_labeled()) {
+    os << "plabels";
+    for (const Label l : c.pattern.label_vector()) os << " " << +l;
+    os << "\n";
+  }
+
+  os << "plan " << (c.plan.induced == Induced::kVertex ? "vertex" : "edge")
+     << " "
+     << (c.plan.count_mode == CountMode::kUniqueSubgraphs ? "unique"
+                                                          : "embeddings")
+     << " " << (c.plan.code_motion ? 1 : 0) << "\n";
+  os << "simt " << c.simt.device.num_blocks << " "
+     << c.simt.device.warps_per_block << " " << c.simt.unroll << " "
+     << c.simt.chunk_size << " " << (c.simt.local_steal ? 1 : 0) << " "
+     << (c.simt.global_steal ? 1 : 0) << " " << c.simt.stop_level << " "
+     << c.simt.detect_level << "\n";
+  os << "host " << c.host.num_threads << " " << c.host.chunk_size << "\n";
+  os << "end\n";
+  return os.str();
+}
+
+TestCase from_repro(const std::string& text) {
+  LineReader reader(text);
+
+  reader.require_next("the magic line");
+  reader.expect_key(kMagic);
+  reader.expect_arity(1);
+  STM_CHECK_MSG(reader.u64(1) == static_cast<std::uint64_t>(kVersion),
+                "repro: unsupported version in \"" << reader.raw() << "\"");
+
+  TestCase c;
+
+  reader.require_next("'seed'");
+  reader.expect_key("seed");
+  reader.expect_arity(1);
+  c.seed = reader.u64(1);
+
+  reader.require_next("'family'");
+  reader.expect_key("family");
+  reader.expect_arity(1);
+  c.family = graph_family_from_string(reader.tokens()[1]);
+
+  reader.require_next("'graph'");
+  reader.expect_key("graph");
+  reader.expect_arity(2);
+  const std::uint64_t n = reader.u64(1);
+  const std::uint64_t m = reader.u64(2);
+  GraphBuilder builder(static_cast<VertexId>(n));
+  for (std::uint64_t i = 0; i < m; ++i) {
+    reader.require_next("an 'e u v' edge line");
+    reader.expect_key("e");
+    reader.expect_arity(2);
+    const std::uint64_t u = reader.u64(1);
+    const std::uint64_t v = reader.u64(2);
+    STM_CHECK_MSG(u < n && v < n, "repro: edge endpoint out of range in \""
+                                      << reader.raw() << "\"");
+    builder.add_edge(static_cast<VertexId>(u), static_cast<VertexId>(v));
+  }
+  c.graph = builder.build();
+
+  reader.require_next("'labels' or 'pattern'");
+  if (reader.key_is("labels")) {
+    c.graph = c.graph.with_labels(parse_labels(reader, n));
+    reader.require_next("'pattern'");
+  }
+
+  reader.expect_key("pattern");
+  reader.expect_arity(2);
+  const std::uint64_t pn = reader.u64(1);
+  const std::uint64_t pm = reader.u64(2);
+  STM_CHECK_MSG(pn >= 1 && pn <= kMaxPatternSize,
+                "repro: pattern size " << pn << " out of range");
+  std::vector<std::pair<int, int>> pattern_edges;
+  for (std::uint64_t i = 0; i < pm; ++i) {
+    reader.require_next("a 'pe u v' pattern edge line");
+    reader.expect_key("pe");
+    reader.expect_arity(2);
+    const std::uint64_t u = reader.u64(1);
+    const std::uint64_t v = reader.u64(2);
+    STM_CHECK_MSG(u < pn && v < pn && u != v,
+                  "repro: bad pattern edge in \"" << reader.raw() << "\"");
+    pattern_edges.emplace_back(static_cast<int>(u), static_cast<int>(v));
+  }
+
+  reader.require_next("'plabels' or 'plan'");
+  std::vector<Label> pattern_labels;
+  if (reader.key_is("plabels")) {
+    pattern_labels = parse_labels(reader, pn);
+    reader.require_next("'plan'");
+  }
+  c.pattern = Pattern(static_cast<std::size_t>(pn), pattern_edges,
+                      std::move(pattern_labels));
+
+  reader.expect_key("plan");
+  reader.expect_arity(3);
+  const std::string& induced = reader.tokens()[1];
+  STM_CHECK_MSG(induced == "edge" || induced == "vertex",
+                "repro: unknown induced mode in \"" << reader.raw() << "\"");
+  c.plan.induced = induced == "vertex" ? Induced::kVertex : Induced::kEdge;
+  const std::string& mode = reader.tokens()[2];
+  STM_CHECK_MSG(mode == "embeddings" || mode == "unique",
+                "repro: unknown count mode in \"" << reader.raw() << "\"");
+  c.plan.count_mode = mode == "unique" ? CountMode::kUniqueSubgraphs
+                                       : CountMode::kEmbeddings;
+  c.plan.code_motion = reader.boolean(3);
+
+  reader.require_next("'simt'");
+  reader.expect_key("simt");
+  reader.expect_arity(8);
+  c.simt.device.num_blocks = static_cast<std::uint32_t>(reader.u64(1));
+  c.simt.device.warps_per_block = static_cast<std::uint32_t>(reader.u64(2));
+  c.simt.unroll = static_cast<std::uint32_t>(reader.u64(3));
+  c.simt.chunk_size = static_cast<std::uint32_t>(reader.u64(4));
+  c.simt.local_steal = reader.boolean(5);
+  c.simt.global_steal = reader.boolean(6);
+  c.simt.stop_level = static_cast<std::uint32_t>(reader.u64(7));
+  c.simt.detect_level = static_cast<std::uint32_t>(reader.u64(8));
+  STM_CHECK_MSG(c.simt.device.num_blocks >= 1 &&
+                    c.simt.device.warps_per_block >= 1 && c.simt.unroll >= 1 &&
+                    c.simt.chunk_size >= 1,
+                "repro: simt knobs must be >= 1 in \"" << reader.raw() << "\"");
+
+  reader.require_next("'host'");
+  reader.expect_key("host");
+  reader.expect_arity(2);
+  c.host.num_threads = static_cast<std::size_t>(reader.u64(1));
+  c.host.chunk_size = static_cast<VertexId>(reader.u64(2));
+  STM_CHECK_MSG(c.host.num_threads >= 1 && c.host.chunk_size >= 1,
+                "repro: host knobs must be >= 1 in \"" << reader.raw() << "\"");
+
+  reader.require_next("'end'");
+  reader.expect_key("end");
+  STM_CHECK_MSG(!reader.next(),
+                "repro: trailing content after 'end': \"" << reader.raw()
+                                                          << "\"");
+  return c;
+}
+
+void save_repro(const TestCase& c, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  STM_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
+  out << to_repro(c);
+  out.flush();
+  STM_CHECK_MSG(out.good(), "failed writing repro to " << path);
+}
+
+TestCase load_repro(const std::string& path) {
+  std::ifstream in(path);
+  STM_CHECK_MSG(in.good(), "cannot open repro file " << path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return from_repro(buffer.str());
+}
+
+}  // namespace stm::harness

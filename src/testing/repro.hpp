@@ -1,0 +1,36 @@
+// Self-contained failure reproductions.
+//
+// A .repro file is the complete, human-readable serialization of one
+// TestCase: graph (edge list + labels), pattern, plan options and both
+// engine configs, plus the originating seed for triage. The minimizer
+// writes one per failure and `fuzz_match --replay file.repro` re-runs the
+// oracle on it, so a CI artifact reproduces a disagreement with no access
+// to the original fuzzing session.
+//
+// Format: a line-oriented `key value...` text file opened by the magic
+// line `stmatch-repro 1`. Parsing is strict — any missing section, stray
+// token, out-of-range id or malformed number throws check_error with the
+// offending line, so a truncated artifact fails loudly instead of
+// replaying the wrong case.
+#pragma once
+
+#include <string>
+
+#include "testing/workload.hpp"
+
+namespace stm::harness {
+
+/// Serializes every field of `c` (version 1 format).
+std::string to_repro(const TestCase& c);
+
+/// Inverse of to_repro. Throws check_error on any malformed input.
+TestCase from_repro(const std::string& text);
+
+/// Writes to_repro(c) to `path`; throws check_error if the file cannot be
+/// written.
+void save_repro(const TestCase& c, const std::string& path);
+
+/// Reads and parses `path`; throws check_error if unreadable or malformed.
+TestCase load_repro(const std::string& path);
+
+}  // namespace stm::harness

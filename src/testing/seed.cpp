@@ -1,0 +1,50 @@
+#include "testing/seed.hpp"
+
+#include <cstdlib>
+#include <string>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace stm::harness {
+
+std::uint64_t base_seed(std::uint64_t fallback) {
+  const char* env = std::getenv("STMATCH_FUZZ_SEED");
+  if (env == nullptr || *env == '\0') return fallback;
+  const std::string text(env);
+  int radix = 10;
+  std::size_t start = 0;
+  if (text.size() > 2 && text[0] == '0' && (text[1] == 'x' || text[1] == 'X')) {
+    radix = 16;
+    start = 2;
+  }
+  std::uint64_t value = 0;
+  STM_CHECK_MSG(start < text.size(), "STMATCH_FUZZ_SEED is empty");
+  for (std::size_t i = start; i < text.size(); ++i) {
+    const char c = text[i];
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (radix == 16 && c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else if (radix == 16 && c >= 'A' && c <= 'F') {
+      digit = c - 'A' + 10;
+    } else {
+      STM_CHECK_MSG(false, "STMATCH_FUZZ_SEED '" << text
+                                                 << "' is not an integer");
+    }
+    value = value * static_cast<std::uint64_t>(radix) +
+            static_cast<std::uint64_t>(digit);
+  }
+  return value;
+}
+
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t stream) {
+  // Two splitmix64 steps over a stream-salted state: the golden-ratio
+  // increment inside splitmix64 decorrelates adjacent streams.
+  std::uint64_t state = base ^ (stream * 0x9e3779b97f4a7c15ULL);
+  (void)splitmix64(state);
+  return splitmix64(state);
+}
+
+}  // namespace stm::harness

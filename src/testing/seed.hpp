@@ -1,0 +1,23 @@
+// Seed plumbing for the conformance harness.
+//
+// Every randomized suite derives its streams from one base seed so a CI
+// failure is reproducible from a single number printed in the failure
+// message: base_seed() honors the STMATCH_FUZZ_SEED environment variable
+// (falling back to the suite's built-in default), and derive_seed() splits
+// statistically independent per-trial streams from it.
+#pragma once
+
+#include <cstdint>
+
+namespace stm::harness {
+
+/// The harness-wide base seed: STMATCH_FUZZ_SEED when set (parsed as a
+/// decimal or 0x-hex integer; malformed values throw check_error so a typo
+/// never silently re-runs the default schedule), else `fallback`.
+std::uint64_t base_seed(std::uint64_t fallback);
+
+/// An independent stream seed derived from (base, stream) via splitmix64.
+/// Distinct streams of one base never share a generator state prefix.
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t stream);
+
+}  // namespace stm::harness

@@ -1,0 +1,101 @@
+// Seeded workload generators for the conformance harness.
+//
+// A TestCase is one fully materialized (graph, pattern, plan options, engine
+// configs) point of the configuration space the engines must agree on. The
+// generators sample graph families chosen to stress different engine paths —
+// uniform (ER), degree-skewed (power law / RMAT), bipartite, star-heavy
+// (steal-path stress), and corner cases (tiny graphs, no edges, graphs
+// smaller than the pattern, duplicate-edge/self-loop edge lists that must
+// deduplicate) — plus connected patterns up to 6 vertices with symmetry-rich
+// shapes, and uniform samples over the unroll/order/code-motion/mode knobs.
+//
+// Everything is a pure function of the seed: random_case(seed) is the unit
+// of reproducibility that .repro files, CI failure messages and the
+// minimizer all reference.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/config.hpp"
+#include "core/host_engine.hpp"
+#include "graph/graph.hpp"
+#include "pattern/pattern.hpp"
+#include "pattern/plan.hpp"
+#include "util/rng.hpp"
+
+namespace stm::harness {
+
+/// Graph family of a generated case (recorded for triage / coverage stats).
+enum class GraphFamily : std::uint8_t {
+  kErdosRenyi = 0,
+  kPowerLaw,   // Barabási–Albert / RMAT skew
+  kBipartite,  // complete or sparse random bipartite
+  kStarHeavy,  // few hubs with many leaves: steal-path stress
+  kCorner,     // tiny / empty / sub-pattern-size / dedup corner cases
+};
+inline constexpr std::size_t kNumGraphFamilies = 5;
+
+const char* to_string(GraphFamily family);
+/// Inverse of to_string; throws check_error on unknown names.
+GraphFamily graph_family_from_string(const std::string& name);
+
+struct WorkloadOptions {
+  VertexId min_vertices = 8;
+  VertexId max_vertices = 64;
+  /// Pattern sizes sampled uniformly in [3, max_pattern_size]; a size-2
+  /// (single-edge) pattern is mixed in occasionally as its own corner case.
+  std::size_t max_pattern_size = 6;
+  double labeled_prob = 0.4;
+  std::size_t max_labels = 4;
+  double vertex_induced_prob = 0.3;
+  double unique_subgraphs_prob = 0.3;
+  double no_code_motion_prob = 0.25;
+};
+
+struct GeneratedGraph {
+  Graph graph;
+  GraphFamily family = GraphFamily::kErdosRenyi;
+};
+
+/// One sampled data graph (labels attached per labeled_prob).
+GeneratedGraph random_graph(Rng& rng, const WorkloadOptions& opts = {});
+
+/// A connected pattern with at most opts.max_pattern_size vertices: random
+/// tree-plus-extra-edges shapes mixed with symmetry-rich fixed shapes
+/// (cliques, cycles, stars, complete bipartite). Also exercises the
+/// disconnected-rejection contract: it occasionally builds a deliberately
+/// disconnected pattern and verifies plan compilation rejects it with
+/// check_error before resampling (a harness bug throws).
+Pattern random_pattern(Rng& rng, const WorkloadOptions& opts = {});
+
+/// Samples the matching-semantics knobs (induced / count mode / code motion).
+PlanOptions random_plan_options(Rng& rng, const WorkloadOptions& opts = {});
+
+/// Samples SIMT device shape, unroll, chunking and steal knobs. The v-range
+/// fields are left at full coverage (the oracle expects complete counts).
+EngineConfig random_engine_config(Rng& rng);
+
+/// Samples host thread count and chunk size.
+HostEngineConfig random_host_config(Rng& rng);
+
+/// One point of the configuration space.
+struct TestCase {
+  /// The seed this case was generated from (0 for hand-built repros).
+  std::uint64_t seed = 0;
+  GraphFamily family = GraphFamily::kCorner;
+  Graph graph;
+  Pattern pattern;
+  PlanOptions plan;
+  EngineConfig simt;
+  HostEngineConfig host;
+};
+
+/// The fully derived case of `seed`: same seed, same case, bit for bit.
+/// Pattern labels are only drawn when the graph is labeled.
+TestCase random_case(std::uint64_t seed, const WorkloadOptions& opts = {});
+
+/// One-line human summary (family, sizes, knob settings) for logs.
+std::string describe(const TestCase& c);
+
+}  // namespace stm::harness

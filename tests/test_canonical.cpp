@@ -8,6 +8,7 @@
 
 #include "pattern/canonical.hpp"
 #include "pattern/queries.hpp"
+#include "service/plan_cache.hpp"
 #include "util/rng.hpp"
 
 namespace stm {
@@ -78,6 +79,70 @@ TEST(Canonical, SingleVertexAndEdge) {
   EXPECT_EQ(canonical_form(Pattern(1, {})), Pattern(1, {}).to_string());
   const Pattern edge = Pattern::parse("0-1");
   EXPECT_EQ(canonical_form(edge), canonical_form(edge.relabeled({1, 0})));
+}
+
+// ---------------------------------------------------------------------------
+// Plan-cache tier regression: near-colliding non-isomorphic patterns
+// ---------------------------------------------------------------------------
+
+TEST(Canonical, CospectralPairsStayDistinct) {
+  // Prism (two triangles joined by rungs) vs K_{3,3}: both 6-vertex,
+  // 9-edge, 3-regular, so any degree-sequence shortcut in canonical_form
+  // collides. They differ in triangle count (prism 2, K33 0).
+  const Pattern prism = Pattern::parse("0-1,1-2,2-0,3-4,4-5,5-3,0-3,1-4,2-5");
+  const Pattern k33 = Pattern::parse("0-3,0-4,0-5,1-3,1-4,1-5,2-3,2-4,2-5");
+  EXPECT_NE(canonical_form(prism), canonical_form(k33));
+
+  // Same structure, label multiset {0,0,1} in both — only the placement
+  // differs (ends vs middle). An exact-string or label-histogram shortcut
+  // treats them alike.
+  const Pattern path = Pattern::parse("0-1,1-2");
+  EXPECT_NE(canonical_form(path.with_labels({0, 0, 1})),
+            canonical_form(path.with_labels({0, 1, 0})));
+}
+
+TEST(Canonical, PlanCacheKeepsNonIsomorphicCollidersApart) {
+  // Regression for the two-tier key: after caching pattern A, a
+  // non-isomorphic pattern B with the same size/degree profile must MISS
+  // (and compile its own plan), while a renumbering of A must HIT through
+  // the canonical tier. A stale alias or a weak canonical form would hand
+  // B the wrong plan and silently corrupt its counts.
+  const Pattern prism = Pattern::parse("0-1,1-2,2-0,3-4,4-5,5-3,0-3,1-4,2-5");
+  const Pattern k33 = Pattern::parse("0-3,0-4,0-5,1-3,1-4,1-5,2-3,2-4,2-5");
+
+  PlanCache cache(16);
+  bool hit = true;
+  const auto plan_prism = cache.get_or_compile(prism, {}, &hit);
+  EXPECT_FALSE(hit);
+
+  const auto plan_k33 = cache.get_or_compile(k33, {}, &hit);
+  EXPECT_FALSE(hit) << "non-isomorphic 3-regular pattern must not share";
+  EXPECT_NE(plan_prism.get(), plan_k33.get());
+
+  // {5,3,4,2,0,1} is an automorphism of the prism (|Aut| = 12); swapping
+  // only 0 and 1 is not, so the exact key genuinely changes.
+  const Pattern prism_renumbered = prism.relabeled({1, 0, 2, 3, 4, 5});
+  ASSERT_NE(prism_renumbered.to_string(), prism.to_string());
+  const auto plan_again = cache.get_or_compile(prism_renumbered, {}, &hit);
+  EXPECT_TRUE(hit) << "renumbering must hit via the canonical tier";
+  EXPECT_EQ(plan_again.get(), plan_prism.get());
+
+  // The labeled near-collision pair must also get distinct entries.
+  const Pattern path = Pattern::parse("0-1,1-2");
+  const auto plan_001 =
+      cache.get_or_compile(path.with_labels({0, 0, 1}), {}, &hit);
+  EXPECT_FALSE(hit);
+  const auto plan_010 =
+      cache.get_or_compile(path.with_labels({0, 1, 0}), {}, &hit);
+  EXPECT_FALSE(hit) << "label placement differs: must not share a plan";
+  EXPECT_NE(plan_001.get(), plan_010.get());
+
+  // Different plan options on the same pattern are distinct cache keys too.
+  PlanOptions vertex_induced;
+  vertex_induced.induced = Induced::kVertex;
+  const auto plan_vi = cache.get_or_compile(prism, vertex_induced, &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_NE(plan_vi.get(), plan_prism.get());
 }
 
 }  // namespace

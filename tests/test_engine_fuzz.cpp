@@ -5,6 +5,10 @@
 // against the brute-force reference elsewhere. This is the failure-injection
 // net for the stealing/unrolling state machine: random device shapes and
 // split parameters exercise steal paths that the targeted tests miss.
+//
+// Seeding goes through the conformance harness (testing/seed.hpp): set
+// STMATCH_FUZZ_SEED to re-run a reported failure, and every assertion
+// message carries the per-test seed so a CI log alone pins the repro.
 #include <gtest/gtest.h>
 
 #include "baselines/dryadic.hpp"
@@ -16,6 +20,7 @@
 #include "graph/labeling.hpp"
 #include "pattern/matching_order.hpp"
 #include "pattern/motifs.hpp"
+#include "testing/seed.hpp"
 #include "util/rng.hpp"
 
 namespace stm {
@@ -55,10 +60,21 @@ EngineConfig random_config(Rng& rng) {
   return cfg;
 }
 
-class EngineFuzz : public ::testing::TestWithParam<int> {};
+class EngineFuzz : public ::testing::TestWithParam<int> {
+ protected:
+  /// Per-test seed: the harness base (STMATCH_FUZZ_SEED when set, the
+  /// historical suite constant otherwise) mixed with the param index, so
+  /// the ten instances stay decorrelated under any base.
+  static std::uint64_t seed_for(std::uint64_t fallback, std::uint64_t salt,
+                                int param) {
+    return harness::derive_seed(harness::base_seed(fallback),
+                                salt ^ static_cast<std::uint64_t>(param));
+  }
+};
 
 TEST_P(EngineFuzz, AllEnginesAgree) {
-  Rng rng(0xf0220 + static_cast<std::uint64_t>(GetParam()) * 7919);
+  const std::uint64_t seed = seed_for(0xf0220, 0x7919, GetParam());
+  Rng rng(seed);
   for (int trial = 0; trial < 6; ++trial) {
     Graph g = random_graph(rng);
     Pattern p = random_pattern(rng, 5);
@@ -82,8 +98,9 @@ TEST_P(EngineFuzz, AllEnginesAgree) {
     EngineConfig cfg = random_config(rng);
     const auto got = stmatch_match(g, plan, cfg);
     ASSERT_EQ(got.count, expected)
-        << "pattern=" << p.to_string() << " graph n=" << g.num_vertices()
-        << " labeled=" << labeled
+        << "seed=" << seed << " (rerun: STMATCH_FUZZ_SEED overrides)"
+        << " trial=" << trial << " pattern=" << p.to_string()
+        << " graph n=" << g.num_vertices() << " labeled=" << labeled
         << " induced=" << (popts.induced == Induced::kVertex)
         << " unroll=" << cfg.unroll << " blocks=" << cfg.device.num_blocks
         << " wpb=" << cfg.device.warps_per_block
@@ -93,7 +110,8 @@ TEST_P(EngineFuzz, AllEnginesAgree) {
 }
 
 TEST_P(EngineFuzz, HostEngineAgrees) {
-  Rng rng(0xab5 + static_cast<std::uint64_t>(GetParam()) * 104729);
+  const std::uint64_t seed = seed_for(0xab5, 0x104729, GetParam());
+  Rng rng(seed);
   Graph g = random_graph(rng);
   Pattern p = random_pattern(rng, 5);
   MatchingPlan plan(reorder_for_matching(p), {});
@@ -101,23 +119,29 @@ TEST_P(EngineFuzz, HostEngineAgrees) {
   cfg.num_threads = 1 + rng.next_below(4);
   cfg.chunk_size = 1 + static_cast<VertexId>(rng.next_below(9));
   EXPECT_EQ(host_match(g, plan, cfg).count,
-            recursive_count_range(g, plan, 0, g.num_vertices()));
+            recursive_count_range(g, plan, 0, g.num_vertices()))
+      << "seed=" << seed << " pattern=" << p.to_string()
+      << " threads=" << cfg.num_threads << " chunk=" << cfg.chunk_size;
 }
 
 TEST_P(EngineFuzz, BaselineModelsAgree) {
-  Rng rng(0xba5e + static_cast<std::uint64_t>(GetParam()) * 31337);
+  const std::uint64_t seed = seed_for(0xba5e, 0x31337, GetParam());
+  Rng rng(seed);
   Graph g = random_graph(rng);
   Pattern p = random_pattern(rng, 5);
   MatchingPlan plan(reorder_for_matching(p), {});
   const auto expected = recursive_count_range(g, plan, 0, g.num_vertices());
-  EXPECT_EQ(dryadic_match(g, p).count, expected);
+  EXPECT_EQ(dryadic_match(g, p).count, expected)
+      << "seed=" << seed << " pattern=" << p.to_string();
   auto cuts = cuts_match(g, p);
   if (!cuts.out_of_memory) {
-    EXPECT_EQ(cuts.count, expected);
+    EXPECT_EQ(cuts.count, expected)
+        << "seed=" << seed << " pattern=" << p.to_string();
   }
   auto gsi = gsi_match(g, p);
   if (!gsi.out_of_memory) {
-    EXPECT_EQ(gsi.count, expected);
+    EXPECT_EQ(gsi.count, expected)
+        << "seed=" << seed << " pattern=" << p.to_string();
   }
 }
 

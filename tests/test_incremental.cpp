@@ -82,28 +82,30 @@ const char* const kPatterns[] = {
     "0-1,0-2,0-3,1-2,1-3,2-3",              // 4-clique
     "0-1,1-2,2-3,3-0,0-4,1-4",              // house
 };
-constexpr std::uint64_t kSeeds[] = {1, 2, 3};
 
 // ---------------------------------------------------------------------------
 // Randomized differential: cumulative deltas == full re-enumeration
 // ---------------------------------------------------------------------------
 
+// Short sweeps keep the default `ctest` run fast; the full 216-batch sweep
+// lives in test_incremental_sweep.cpp (DeepSweep, STMATCH_SLOW=1 gated).
+
 TEST(IncrementalDifferential, HostEngineMatchesFullReenumeration) {
   int total = 0;
   for (const char* p : kPatterns)
-    for (std::uint64_t seed : kSeeds)
+    for (std::uint64_t seed : {std::uint64_t{1}, std::uint64_t{2}})
       total += run_differential(Pattern::parse(p), DeltaEngine::kHost, seed,
-                                /*num_batches=*/16, /*batch_edges=*/6);
-  EXPECT_EQ(total, 3 * 3 * 16);  // 144 batches checked
+                                /*num_batches=*/6, /*batch_edges=*/6);
+  EXPECT_EQ(total, 3 * 2 * 6);  // 36 batches checked
 }
 
 TEST(IncrementalDifferential, SimtEngineMatchesFullReenumeration) {
   int total = 0;
   for (const char* p : kPatterns)
-    for (std::uint64_t seed : kSeeds)
-      total += run_differential(Pattern::parse(p), DeltaEngine::kSimt, seed,
-                                /*num_batches=*/8, /*batch_edges=*/6);
-  EXPECT_EQ(total, 3 * 3 * 8);  // 72 batches checked (216 with the host run)
+    total += run_differential(Pattern::parse(p), DeltaEngine::kSimt,
+                              /*seed=*/3, /*num_batches=*/4,
+                              /*batch_edges=*/6);
+  EXPECT_EQ(total, 3 * 4);  // 12 batches checked
 }
 
 TEST(IncrementalDifferential, UniqueSubgraphCounts) {
