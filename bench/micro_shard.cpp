@@ -1,0 +1,89 @@
+// Micro-benchmarks of the sharded execution subsystem: single-shard vs
+// 2/4/8-shard wall time of the cross-shard coordinator on ER and power-law
+// graphs, with the partition's imbalance and cut fraction reported as
+// counters. The acceptance target (EXPERIMENTS.md) is a measurable speedup
+// over the single-shard host run on >= 4 shards for at least one power-law
+// workload — on multi-core hosts; a 1-core container only shows the
+// coordination overhead, which these benchmarks then bound.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "dist/partition.hpp"
+#include "dist/sharded.hpp"
+#include "graph/generators.hpp"
+#include "pattern/pattern.hpp"
+
+namespace {
+
+using namespace stm;
+
+const Graph& er_graph() {
+  static const Graph g = make_erdos_renyi(2000, 8.0 / 1999.0, 101);
+  return g;
+}
+
+const Graph& power_law_graph() {
+  // Barabási–Albert skew: hub shards make load balancing matter.
+  static const Graph g = make_barabasi_albert(2000, 4, 202);
+  return g;
+}
+
+void run_sharded(benchmark::State& state, const Graph& g,
+                 dist::PartitionStrategy strategy) {
+  const auto num_shards = static_cast<std::uint32_t>(state.range(0));
+  dist::PartitionConfig pcfg;
+  pcfg.num_shards = num_shards;
+  pcfg.strategy = strategy;
+  const Pattern triangle(3, {{0, 1}, {1, 2}, {0, 2}});
+  dist::ShardedOptions opts;
+  opts.local_engine = dist::LocalEngine::kHost;
+
+  std::uint64_t count = 0;
+  double imbalance = 1.0;
+  double cut_fraction = 0.0;
+  for (auto _ : state) {
+    const dist::ShardedResult r = dist::sharded_match(g, triangle, pcfg, opts);
+    benchmark::DoNotOptimize(r.count);
+    count = r.count;
+    imbalance = r.vertex_imbalance;
+    cut_fraction = r.cut_fraction;
+  }
+  state.counters["triangles"] = static_cast<double>(count);
+  state.counters["vertex_imbalance"] = imbalance;
+  state.counters["cut_fraction"] = cut_fraction;
+}
+
+void BM_ShardedTriangles_ER_Contiguous(benchmark::State& state) {
+  run_sharded(state, er_graph(), dist::PartitionStrategy::kContiguous);
+}
+BENCHMARK(BM_ShardedTriangles_ER_Contiguous)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ShardedTriangles_PowerLaw_Contiguous(benchmark::State& state) {
+  run_sharded(state, power_law_graph(), dist::PartitionStrategy::kContiguous);
+}
+BENCHMARK(BM_ShardedTriangles_PowerLaw_Contiguous)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ShardedTriangles_PowerLaw_DegreeBalanced(benchmark::State& state) {
+  run_sharded(state, power_law_graph(),
+              dist::PartitionStrategy::kDegreeBalanced);
+}
+BENCHMARK(BM_ShardedTriangles_PowerLaw_DegreeBalanced)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void BM_PartitionBuild_PowerLaw(benchmark::State& state) {
+  const auto num_shards = static_cast<std::uint32_t>(state.range(0));
+  dist::PartitionConfig pcfg;
+  pcfg.num_shards = num_shards;
+  pcfg.strategy = dist::PartitionStrategy::kDegreeBalanced;
+  for (auto _ : state) {
+    const dist::Partition p = dist::partition_graph(power_law_graph(), pcfg);
+    benchmark::DoNotOptimize(p.shards.size());
+  }
+}
+BENCHMARK(BM_PartitionBuild_PowerLaw)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

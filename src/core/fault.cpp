@@ -14,6 +14,7 @@ const char* to_string(FaultSite site) {
     case FaultSite::kPoolTask: return "pool_task";
     case FaultSite::kEngineThrow: return "engine_throw";
     case FaultSite::kUpdateApply: return "update_apply";
+    case FaultSite::kShardFailure: return "shard_failure";
   }
   return "unknown";
 }

@@ -34,8 +34,10 @@ enum class FaultSite : std::uint8_t {
                     // exception boundary and the fallback chain)
   kUpdateApply,     // a dynamic-graph update batch fails before publishing
                     // its snapshot (exercises apply atomicity)
+  kShardFailure,    // a sharded-execution unit (shard-local run or cut-edge
+                    // anchor chunk) fails; re-run with bumped incarnation
 };
-inline constexpr std::size_t kNumFaultSites = 8;
+inline constexpr std::size_t kNumFaultSites = 9;
 
 const char* to_string(FaultSite site);
 

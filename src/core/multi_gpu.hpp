@@ -38,7 +38,9 @@ struct MultiGpuResult {
 
 /// Runs `plan` over `num_devices` simulated devices, dividing the outer loop
 /// into interleaved slices of V. `cfg.fault` drives both the per-device
-/// engine chaos and the kDeviceFail site handled here.
+/// engine chaos and the kDeviceFail site handled here. A facade over
+/// dist::run_replicated with an ownership-only interleaved partition, so the
+/// slice/recovery semantics are shared with the sharded subsystem.
 MultiGpuResult stmatch_match_multi_gpu(const Graph& g, const MatchingPlan& plan,
                                        std::size_t num_devices,
                                        const EngineConfig& cfg = {});

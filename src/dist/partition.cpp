@@ -1,0 +1,269 @@
+#include "dist/partition.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+#include "dynamic/dynamic_graph.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace stm::dist {
+
+const char* to_string(PartitionStrategy s) {
+  switch (s) {
+    case PartitionStrategy::kContiguous: return "contiguous";
+    case PartitionStrategy::kDegreeBalanced: return "degree_balanced";
+    case PartitionStrategy::kHash: return "hash";
+    case PartitionStrategy::kInterleaved: return "interleaved";
+  }
+  return "unknown";
+}
+
+PartitionStrategy partition_strategy_from_string(const std::string& name) {
+  // Accept the CLI-friendly hyphen spelling ("degree-balanced") too.
+  std::string canon = name;
+  std::replace(canon.begin(), canon.end(), '-', '_');
+  for (std::size_t i = 0; i < kNumPartitionStrategies; ++i) {
+    const auto s = static_cast<PartitionStrategy>(i);
+    if (canon == to_string(s)) return s;
+  }
+  STM_CHECK_MSG(false, "unknown partition strategy: " << name);
+}
+
+namespace {
+
+std::vector<std::uint32_t> assign_owners(const Graph& g,
+                                         const PartitionConfig& cfg) {
+  const VertexId n = g.num_vertices();
+  const std::uint32_t s_count = cfg.num_shards;
+  std::vector<std::uint32_t> owner(n, 0);
+  switch (cfg.strategy) {
+    case PartitionStrategy::kContiguous: {
+      // Ranges [n*s/S, n*(s+1)/S) — the same boundaries outer_slice reports.
+      std::uint32_t s = 0;
+      for (VertexId v = 0; v < n; ++v) {
+        while (v >= static_cast<VertexId>(static_cast<std::uint64_t>(n) *
+                                          (s + 1) / s_count))
+          ++s;
+        owner[v] = s;
+      }
+      break;
+    }
+    case PartitionStrategy::kDegreeBalanced: {
+      // Greedy LPT: heaviest vertices first, each to the currently lightest
+      // shard (degree + 1 so isolated vertices still spread out). Ties break
+      // on the smallest shard id, so the assignment is deterministic.
+      std::vector<VertexId> by_degree(n);
+      std::iota(by_degree.begin(), by_degree.end(), VertexId{0});
+      std::stable_sort(by_degree.begin(), by_degree.end(),
+                       [&](VertexId a, VertexId b) {
+                         return g.degree(a) > g.degree(b);
+                       });
+      std::vector<std::uint64_t> load(s_count, 0);
+      for (VertexId v : by_degree) {
+        std::uint32_t best = 0;
+        for (std::uint32_t s = 1; s < s_count; ++s)
+          if (load[s] < load[best]) best = s;
+        owner[v] = best;
+        load[best] += g.degree(v) + 1;
+      }
+      break;
+    }
+    case PartitionStrategy::kHash: {
+      for (VertexId v = 0; v < n; ++v) {
+        std::uint64_t state = cfg.hash_salt ^ v;
+        owner[v] = static_cast<std::uint32_t>(splitmix64(state) % s_count);
+      }
+      break;
+    }
+    case PartitionStrategy::kInterleaved: {
+      for (VertexId v = 0; v < n; ++v) owner[v] = v % s_count;
+      break;
+    }
+  }
+  return owner;
+}
+
+/// Materializes one shard from the global adjacency in `view`.
+std::shared_ptr<const Shard> build_shard(GraphView view,
+                                         const std::vector<std::uint32_t>& owner,
+                                         std::uint32_t id) {
+  auto shard = std::make_shared<Shard>();
+  shard->id = id;
+  const VertexId n = view.num_vertices();
+  for (VertexId v = 0; v < n; ++v)
+    if (owner[v] == id) shard->to_global.push_back(v);
+
+  // Global -> local for owned vertices; ghosts are discovered below.
+  std::vector<VertexId> local_of(n, kNoVertex);
+  for (VertexId l = 0; l < shard->num_owned(); ++l)
+    local_of[shard->to_global[l]] = l;
+
+  for (VertexId v : shard->to_global)
+    for (VertexId w : view.neighbors(v))
+      if (owner[w] != id && local_of[w] == kNoVertex) {
+        shard->ghosts.push_back(w);
+        local_of[w] = 0;  // marker; real halo ids assigned after the sort
+      }
+  std::sort(shard->ghosts.begin(), shard->ghosts.end());
+  for (VertexId i = 0; i < static_cast<VertexId>(shard->ghosts.size()); ++i)
+    local_of[shard->ghosts[i]] = shard->num_owned() + i;
+
+  GraphBuilder local_b(shard->num_owned());
+  GraphBuilder halo_b(shard->num_owned() +
+                      static_cast<VertexId>(shard->ghosts.size()));
+  for (VertexId v : shard->to_global) {
+    for (VertexId w : view.neighbors(v)) {
+      if (owner[w] == id) {
+        if (v < w) {
+          local_b.add_edge(local_of[v], local_of[w]);
+          halo_b.add_edge(local_of[v], local_of[w]);
+        }
+      } else {
+        // Owned–ghost boundary edge: present in the halo only. Each cut edge
+        // is visited once from its owned side (w is not iterated here), so
+        // recording the normalized pair yields no duplicates.
+        halo_b.add_edge(local_of[v], local_of[w]);
+        if (id == std::min(owner[v], owner[w]))
+          shard->cut_edges.emplace_back(std::min(v, w), std::max(v, w));
+      }
+    }
+  }
+  std::sort(shard->cut_edges.begin(), shard->cut_edges.end());
+
+  Graph local = local_b.build();
+  Graph halo = halo_b.build();
+  if (view.is_labeled()) {
+    std::vector<Label> local_labels(shard->num_owned());
+    for (VertexId l = 0; l < shard->num_owned(); ++l)
+      local_labels[l] = view.label(shard->to_global[l]);
+    std::vector<Label> halo_labels = local_labels;
+    halo_labels.reserve(local_labels.size() + shard->ghosts.size());
+    for (VertexId gv : shard->ghosts) halo_labels.push_back(view.label(gv));
+    local = local.with_labels(std::move(local_labels));
+    halo = halo.with_labels(std::move(halo_labels));
+  }
+  shard->local = std::move(local);
+  shard->halo = std::move(halo);
+  return shard;
+}
+
+/// Rebuilds the owner-major global cut-edge order from the per-shard lists.
+void collect_cut_edges(Partition& p) {
+  p.cut_edges.clear();
+  for (const auto& shard : p.shards)
+    p.cut_edges.insert(p.cut_edges.end(), shard->cut_edges.begin(),
+                       shard->cut_edges.end());
+}
+
+}  // namespace
+
+BalanceReport Partition::balance(const Graph& g) const {
+  return balance_report(g, owner, config.num_shards);
+}
+
+Partition partition_graph(const Graph& g, const PartitionConfig& cfg) {
+  STM_CHECK_MSG(cfg.num_shards >= 1, "a partition needs at least one shard");
+  Partition p;
+  p.config = cfg;
+  p.num_vertices = g.num_vertices();
+  p.num_edges = g.num_edges();
+  if (g.num_vertices() == 0) {
+    p.owner.clear();
+    if (cfg.materialize) {
+      for (std::uint32_t s = 0; s < cfg.num_shards; ++s) {
+        auto shard = std::make_shared<Shard>();
+        shard->id = s;
+        p.shards.push_back(std::move(shard));
+      }
+    }
+    return p;
+  }
+  p.owner = assign_owners(g, cfg);
+  if (cfg.materialize) {
+    const GraphView view(g);
+    for (std::uint32_t s = 0; s < cfg.num_shards; ++s)
+      p.shards.push_back(build_shard(view, p.owner, s));
+    collect_cut_edges(p);
+  }
+  return p;
+}
+
+OuterSlice outer_slice(const Partition& p, std::uint32_t shard) {
+  STM_CHECK(shard < p.num_shards());
+  OuterSlice slice;
+  switch (p.config.strategy) {
+    case PartitionStrategy::kInterleaved:
+      slice.v_begin = shard;
+      slice.v_end = p.num_vertices;
+      slice.v_stride = p.num_shards();
+      break;
+    case PartitionStrategy::kContiguous:
+      slice.v_begin = static_cast<VertexId>(
+          static_cast<std::uint64_t>(p.num_vertices) * shard / p.num_shards());
+      slice.v_end = static_cast<VertexId>(static_cast<std::uint64_t>(
+                                              p.num_vertices) *
+                                          (shard + 1) / p.num_shards());
+      slice.v_stride = 1;
+      break;
+    default:
+      STM_CHECK_MSG(false, "outer_slice requires a range-describable strategy "
+                           "(contiguous or interleaved), got "
+                               << to_string(p.config.strategy));
+  }
+  return slice;
+}
+
+Partition refresh_partition(const Partition& p, GraphView view,
+                            const DeltaEdges& delta,
+                            std::vector<std::uint32_t>* touched) {
+  STM_CHECK_MSG(p.config.materialize,
+                "refresh_partition requires a materialized partition");
+  STM_CHECK(view.num_vertices() == p.num_vertices);
+
+  // A shard must be rebuilt when it owns a delta endpoint (its local/halo
+  // graphs change) or ghost-replicates one (its halo changes). The ghost
+  // case is detected from the *post-apply* adjacency plus the old ghost
+  // lists: a shard that replicated an endpoint before the delta, or that
+  // owns a neighbor of one now, sees a halo-visible change.
+  std::vector<bool> rebuild(p.num_shards(), false);
+  auto mark_endpoint = [&](VertexId v) {
+    rebuild[p.owner_of(v)] = true;
+    for (VertexId w : view.neighbors(v)) rebuild[p.owner_of(w)] = true;
+    for (const auto& shard : p.shards)
+      if (std::binary_search(shard->ghosts.begin(), shard->ghosts.end(), v))
+        rebuild[shard->id] = true;
+  };
+  for (const auto& [u, v] : delta.inserted) {
+    mark_endpoint(u);
+    mark_endpoint(v);
+  }
+  for (const auto& [u, v] : delta.deleted) {
+    mark_endpoint(u);
+    mark_endpoint(v);
+  }
+
+  Partition next;
+  next.config = p.config;
+  next.num_vertices = p.num_vertices;
+  next.owner = p.owner;  // ownership is sticky
+  next.num_edges = 0;
+  next.shards.resize(p.shards.size());
+  for (std::uint32_t s = 0; s < p.num_shards(); ++s) {
+    if (rebuild[s]) {
+      next.shards[s] = build_shard(view, next.owner, s);
+      if (touched != nullptr) touched->push_back(s);
+    } else {
+      next.shards[s] = p.shards[s];
+    }
+  }
+  collect_cut_edges(next);
+  // Edge count of the refreshed version: intra edges plus cut edges.
+  for (const auto& shard : next.shards)
+    next.num_edges += shard->local.num_edges();
+  next.num_edges += static_cast<EdgeId>(next.cut_edges.size());
+  return next;
+}
+
+}  // namespace stm::dist

@@ -1,0 +1,28 @@
+// Replicated execution over a partition's outer-loop slices.
+//
+// The paper's multi-GPU mode (Fig. 11) duplicates the input graph on every
+// device and divides only the outermost loop — ownership without
+// materialization. That is a degenerate partition: run_replicated drives
+// the same slice/retry/recovery loop as stmatch_match_multi_gpu from a
+// Partition's ownership (via outer_slice), so the multi-GPU entry point and
+// the sharded subsystem share one ownership and recovery story. The
+// kDeviceFail fault keys, incarnation bumps, and result semantics are
+// bit-identical to the pre-partitioner implementation — regression-locked
+// by the MultiGpu test suite.
+#pragma once
+
+#include "core/config.hpp"
+#include "core/multi_gpu.hpp"
+#include "dist/partition.hpp"
+
+namespace stm::dist {
+
+/// Runs `plan` once per shard of `partition` over the shard's outer-loop
+/// slice of the (fully replicated) graph `g`, with whole-slice retry under
+/// FaultSite::kDeviceFail. The partition needs no materialized shards; its
+/// strategy must be slice-describable (kInterleaved or kContiguous).
+MultiGpuResult run_replicated(const Graph& g, const MatchingPlan& plan,
+                              const Partition& partition,
+                              const EngineConfig& cfg = {});
+
+}  // namespace stm::dist

@@ -65,28 +65,29 @@ Graph pattern_as_graph(const Pattern& p) {
   return g;
 }
 
-IncrementalMatcher::IncrementalMatcher(const Pattern& pattern,
-                                       IncrementalOptions opts)
-    : pattern_(pattern), opts_(opts) {
-  STM_CHECK_MSG(opts_.plan.induced == Induced::kEdge,
-                "incremental matching supports edge-induced semantics only: "
-                "a vertex-induced match can change without containing a "
-                "delta edge");
+AnchoredEnumerator::AnchoredEnumerator(const Pattern& pattern,
+                                       const PlanOptions& base,
+                                       DeltaEngine engine,
+                                       const EngineConfig& simt)
+    : pattern_(pattern), engine_(engine), simt_(simt) {
+  STM_CHECK_MSG(base.induced == Induced::kEdge,
+                "anchored enumeration supports edge-induced semantics only: "
+                "a vertex-induced match can change without containing the "
+                "anchor edge");
   STM_CHECK_MSG(pattern_.size() >= 2, "pattern must have at least two vertices");
 
   // One anchored plan per (unordered) pattern edge, always compiled in
   // kEmbeddings mode: symmetry-breaking constraints assume the engine's own
   // vertex order and would miscount under a forced anchor. Subgraph counts
-  // are recovered by dividing the embedding delta by |Aut(pattern)|.
-  PlanOptions anchor_opts = opts_.plan;
+  // are recovered by dividing aggregated embeddings by |Aut(pattern)|.
+  PlanOptions anchor_opts = base;
   anchor_opts.count_mode = CountMode::kEmbeddings;
   for (std::size_t a = 0; a < pattern_.size(); ++a)
     for (std::size_t b = a + 1; b < pattern_.size(); ++b)
       if (pattern_.has_edge(a, b))
-        anchors_.push_back(
-            {MatchingPlan(anchored_pattern(pattern_, a, b), anchor_opts)});
+        anchors_.emplace_back(anchored_pattern(pattern_, a, b), anchor_opts);
 
-  if (opts_.plan.count_mode == CountMode::kUniqueSubgraphs) {
+  if (base.count_mode == CountMode::kUniqueSubgraphs) {
     // |Aut(p)| = injective edge-preserving self-maps; with |V| and |E|
     // equal on both sides every such map is an automorphism, so the
     // edge-induced embedding count of p in itself is exactly |Aut(p)|.
@@ -97,22 +98,21 @@ IncrementalMatcher::IncrementalMatcher(const Pattern& pattern,
   }
 }
 
-std::uint64_t IncrementalMatcher::count_containing(GraphView g, VertexId u,
+std::uint64_t AnchoredEnumerator::count_containing(GraphView g, VertexId u,
                                                    VertexId v,
                                                    std::uint64_t* runs) const {
   std::uint64_t total = 0;
-  for (const AnchorPlan& anchor : anchors_) {
-    const MatchingPlan& plan = anchor.plan;
+  for (const MatchingPlan& plan : anchors_) {
     const std::pair<VertexId, VertexId> seeds[2] = {{u, v}, {v, u}};
     for (const auto& [s0, s1] : seeds) {
       if (!label_ok(g, plan.exact_mask(0), s0) ||
           !label_ok(g, plan.exact_mask(1), s1))
         continue;
       ++*runs;
-      if (opts_.engine == DeltaEngine::kHost) {
+      if (engine_ == DeltaEngine::kHost) {
         total += recursive_count_seed(g, plan, s0, s1);
       } else {
-        EngineConfig cfg = opts_.simt;
+        EngineConfig cfg = simt_;
         cfg.v_begin = s0;
         cfg.v_end = s0 + 1;
         cfg.v_stride = 1;
@@ -123,6 +123,11 @@ std::uint64_t IncrementalMatcher::count_containing(GraphView g, VertexId u,
   }
   return total;
 }
+
+IncrementalMatcher::IncrementalMatcher(const Pattern& pattern,
+                                       IncrementalOptions opts)
+    : opts_(opts),
+      enumerator_(pattern, opts.plan, opts.engine, opts.simt) {}
 
 DeltaMatchResult IncrementalMatcher::count_delta(
     const std::shared_ptr<const GraphSnapshot>& from,
@@ -151,8 +156,8 @@ DeltaMatchResult IncrementalMatcher::count_delta(
     for (const auto& [u, v] : applied.deleted) overlay.remove_edge(u, v);
     for (const auto& [u, v] : applied.inserted) {
       overlay.add_edge(u, v);
-      plus += static_cast<std::int64_t>(
-          count_containing(overlay.view(), u, v, &result.anchored_runs));
+      plus += static_cast<std::int64_t>(enumerator_.count_containing(
+          overlay.view(), u, v, &result.anchored_runs));
     }
   }
   std::int64_t minus = 0;
@@ -161,14 +166,14 @@ DeltaMatchResult IncrementalMatcher::count_delta(
     for (const auto& [u, v] : applied.deleted) overlay.remove_edge(u, v);
     for (const auto& [u, v] : applied.deleted) {
       overlay.add_edge(u, v);
-      minus += static_cast<std::int64_t>(
-          count_containing(overlay.view(), u, v, &result.anchored_runs));
+      minus += static_cast<std::int64_t>(enumerator_.count_containing(
+          overlay.view(), u, v, &result.anchored_runs));
     }
   }
 
   std::int64_t delta = plus - minus;
   if (opts_.plan.count_mode == CountMode::kUniqueSubgraphs) {
-    const auto aut = static_cast<std::int64_t>(automorphisms_);
+    const auto aut = static_cast<std::int64_t>(automorphisms());
     STM_CHECK_MSG(delta % aut == 0,
                   "embedding delta " << delta << " not divisible by |Aut| "
                                      << aut);

@@ -57,6 +57,45 @@ struct DeltaMatchResult {
   std::uint64_t delta_edges = 0;
 };
 
+/// Edge-anchored enumeration: counts the embeddings of a pattern that
+/// contain a given data edge. Every pattern edge takes a turn as the anchor
+/// (relabeled so the anchor spans levels 0 and 1), and for each data edge
+/// both seed orientations run through the unmodified host or SIMT engine.
+/// Plans are always compiled in kEmbeddings mode — symmetry breaking does
+/// not commute with a forced anchor — so callers counting unique subgraphs
+/// divide aggregated totals by automorphisms().
+///
+/// Shared by IncrementalMatcher (anchors = delta edges) and the sharded
+/// coordinator in dist/ (anchors = cut edges): both realize the same
+/// prefix inclusion–exclusion identity over an ordered edge set.
+class AnchoredEnumerator {
+ public:
+  /// Compiles one anchored plan per pattern edge. Throws check_error for
+  /// vertex-induced options or patterns with fewer than two vertices.
+  AnchoredEnumerator(const Pattern& pattern, const PlanOptions& base,
+                     DeltaEngine engine = DeltaEngine::kHost,
+                     const EngineConfig& simt = {});
+
+  /// Embeddings containing data edge (u, v) in `g`, summed over all anchors
+  /// and both orientations. Increments *runs per engine invocation issued
+  /// (label-pruned seeds are skipped).
+  std::uint64_t count_containing(GraphView g, VertexId u, VertexId v,
+                                 std::uint64_t* runs) const;
+
+  /// |Aut(pattern)| — the embeddings-per-subgraph factor (1 unless the base
+  /// options requested kUniqueSubgraphs).
+  std::uint64_t automorphisms() const { return automorphisms_; }
+  std::size_t num_anchors() const { return anchors_.size(); }
+  const Pattern& pattern() const { return pattern_; }
+
+ private:
+  Pattern pattern_;
+  DeltaEngine engine_;
+  EngineConfig simt_;
+  std::vector<MatchingPlan> anchors_;  // anchor edge at levels 0/1
+  std::uint64_t automorphisms_ = 1;
+};
+
 class IncrementalMatcher {
  public:
   /// Compiles one anchored plan per pattern edge. Throws check_error for
@@ -72,25 +111,14 @@ class IncrementalMatcher {
       const std::shared_ptr<const GraphSnapshot>& from,
       const DeltaEdges& applied) const;
 
-  const Pattern& pattern() const { return pattern_; }
+  const Pattern& pattern() const { return enumerator_.pattern(); }
   const IncrementalOptions& options() const { return opts_; }
   /// |Aut(pattern)| — the embeddings-per-subgraph factor.
-  std::uint64_t automorphisms() const { return automorphisms_; }
+  std::uint64_t automorphisms() const { return enumerator_.automorphisms(); }
 
  private:
-  struct AnchorPlan {
-    MatchingPlan plan;  // anchor edge at levels 0/1, kEmbeddings mode
-  };
-
-  /// Embeddings containing data edge (u, v) in the overlay graph, summed
-  /// over all anchors and both orientations.
-  std::uint64_t count_containing(GraphView g, VertexId u, VertexId v,
-                                 std::uint64_t* runs) const;
-
-  Pattern pattern_;
   IncrementalOptions opts_;
-  std::vector<AnchorPlan> anchors_;
-  std::uint64_t automorphisms_ = 1;
+  AnchoredEnumerator enumerator_;
 };
 
 /// The pattern interpreted as a data graph (vertices [0, size), its edges,

@@ -30,4 +30,48 @@ std::vector<EdgeId> degree_sequence(const Graph& g) {
   return degs;
 }
 
+BalanceReport balance_report(const Graph& g,
+                             const std::vector<std::uint32_t>& owner,
+                             std::uint32_t num_shards) {
+  STM_CHECK(num_shards >= 1);
+  STM_CHECK(owner.size() == g.num_vertices());
+  BalanceReport r;
+  r.shards.resize(num_shards);
+  for (std::uint32_t s = 0; s < num_shards; ++s) r.shards[s].shard = s;
+
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    STM_CHECK(owner[v] < num_shards);
+    ++r.shards[owner[v]].vertices;
+    for (VertexId w : g.neighbors(v)) {
+      if (owner[w] == owner[v]) {
+        // Counted from both endpoints; halve below.
+        ++r.shards[owner[v]].intra_edges;
+      } else {
+        ++r.shards[owner[v]].incident_cut_edges;
+        if (v < w) ++r.cut_edges;
+      }
+    }
+  }
+  for (ShardBalance& s : r.shards) s.intra_edges /= 2;
+
+  if (g.num_edges() > 0) {
+    r.cut_fraction = static_cast<double>(r.cut_edges) /
+                     static_cast<double>(g.num_edges());
+  }
+  VertexId max_v = 0;
+  double max_load = 0.0;
+  double load_sum = 0.0;
+  for (const ShardBalance& s : r.shards) {
+    max_v = std::max(max_v, s.vertices);
+    max_load = std::max(max_load, s.edge_load());
+    load_sum += s.edge_load();
+  }
+  const double mean_v =
+      static_cast<double>(g.num_vertices()) / static_cast<double>(num_shards);
+  if (mean_v > 0.0) r.vertex_imbalance = static_cast<double>(max_v) / mean_v;
+  const double mean_load = load_sum / static_cast<double>(num_shards);
+  if (mean_load > 0.0) r.edge_imbalance = max_load / mean_load;
+  return r;
+}
+
 }  // namespace stm

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <set>
 #include <sstream>
 
 #include "util/check.hpp"
@@ -19,6 +20,25 @@ std::string fmt_double(double v) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.6g", v);
   return buf;
+}
+
+/// JSON string escaping for metric names used as object keys — labeled names
+/// like `shard_owned_vertices{shard="0"}` contain quotes.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// The metric family of a possibly labeled series name: everything before
+/// the '{'. Prometheus HELP/TYPE lines are per family, not per series.
+std::string family_of(const std::string& name) {
+  const auto brace = name.find('{');
+  return brace == std::string::npos ? name : name.substr(0, brace);
 }
 
 }  // namespace
@@ -128,7 +148,7 @@ std::string MetricsRegistry::to_json() const {
   bool first = true;
   for (const Entry* e : entries) {
     if (e->kind != Kind::kCounter) continue;
-    out << (first ? "" : ",") << "\n    \"" << e->name
+    out << (first ? "" : ",") << "\n    \"" << json_escape(e->name)
         << "\": " << e->counter->value();
     first = false;
   }
@@ -136,7 +156,7 @@ std::string MetricsRegistry::to_json() const {
   first = true;
   for (const Entry* e : entries) {
     if (e->kind != Kind::kGauge) continue;
-    out << (first ? "" : ",") << "\n    \"" << e->name
+    out << (first ? "" : ",") << "\n    \"" << json_escape(e->name)
         << "\": " << fmt_double(e->gauge->value());
     first = false;
   }
@@ -145,7 +165,7 @@ std::string MetricsRegistry::to_json() const {
   for (const Entry* e : entries) {
     if (e->kind != Kind::kHistogram) continue;
     const HistogramSnapshot s = e->histogram->snapshot();
-    out << (first ? "" : ",") << "\n    \"" << e->name << "\": {"
+    out << (first ? "" : ",") << "\n    \"" << json_escape(e->name) << "\": {"
         << "\"count\": " << s.count << ", \"sum\": " << fmt_double(s.sum)
         << ", \"min\": " << fmt_double(s.min)
         << ", \"max\": " << fmt_double(s.max)
@@ -172,21 +192,27 @@ std::string MetricsRegistry::to_prometheus() const {
     for (const auto& e : entries_) entries.push_back(e.get());
   }
   std::ostringstream out;
+  // HELP/TYPE are per metric *family*: labeled series (`name{shard="0"}`)
+  // share their family's header, emitted once at first encounter.
+  std::set<std::string> announced;
+  std::ostringstream dummy;
   for (const Entry* e : entries) {
+    const std::string family = family_of(e->name);
+    std::ostream& hdr = announced.insert(family).second ? out : dummy;
     if (!e->help.empty())
-      out << "# HELP " << e->name << " " << e->help << "\n";
+      hdr << "# HELP " << family << " " << e->help << "\n";
     switch (e->kind) {
       case Kind::kCounter:
-        out << "# TYPE " << e->name << " counter\n";
+        hdr << "# TYPE " << family << " counter\n";
         out << e->name << " " << e->counter->value() << "\n";
         break;
       case Kind::kGauge:
-        out << "# TYPE " << e->name << " gauge\n";
+        hdr << "# TYPE " << family << " gauge\n";
         out << e->name << " " << fmt_double(e->gauge->value()) << "\n";
         break;
       case Kind::kHistogram: {
         const HistogramSnapshot s = e->histogram->snapshot();
-        out << "# TYPE " << e->name << " summary\n";
+        hdr << "# TYPE " << family << " summary\n";
         out << e->name << "{quantile=\"0.5\"} " << fmt_double(s.p50) << "\n";
         out << e->name << "{quantile=\"0.95\"} " << fmt_double(s.p95) << "\n";
         out << e->name << "{quantile=\"0.99\"} " << fmt_double(s.p99) << "\n";

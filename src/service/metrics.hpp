@@ -89,6 +89,11 @@ class Histogram {
 /// Named metric registry. Metric objects are created on first access and
 /// remain valid (stable addresses) for the registry's lifetime, so hot paths
 /// can cache `Counter&` references.
+///
+/// Names may carry a Prometheus label set (`shard_owned_vertices{shard="0"}`);
+/// each labeled series is its own counter/gauge, the exporters emit one
+/// HELP/TYPE header per family (the part before '{') and escape the quotes
+/// in JSON keys. Histograms do not support labels.
 class MetricsRegistry {
  public:
   Counter& counter(const std::string& name, const std::string& help = "");

@@ -98,6 +98,11 @@ GraphSession::GraphSession(Graph graph, SessionConfig cfg)
           "edges_inserted", "Edges effectively inserted across batches")),
       edges_deleted_(metrics_.counter(
           "edges_deleted", "Edges effectively deleted across batches")),
+      sharded_queries_(metrics_.counter(
+          "sharded_queries", "Queries served by the cross-shard coordinator")),
+      shard_chunk_steals_(metrics_.counter(
+          "shard_chunk_steals",
+          "Sharded work units run by a foreign shard's worker")),
       inflight_(metrics_.gauge("inflight_queries", "Queries executing now")),
       queue_depth_(metrics_.gauge("queue_depth", "Queries waiting to start")),
       cache_hit_rate_(metrics_.gauge("plan_cache_hit_rate",
@@ -108,6 +113,11 @@ GraphSession::GraphSession(Graph graph, SessionConfig cfg)
           "Registration-time full-enumeration ms / last batch delta ms")),
       standing_queries_(
           metrics_.gauge("standing_queries", "Registered standing queries")),
+      shard_imbalance_(metrics_.gauge(
+          "shard_imbalance",
+          "Max/mean per-shard edge load (intra + half incident cut)")),
+      cut_edge_fraction_(metrics_.gauge(
+          "cut_edge_fraction", "Cut edges / total edges of the partition")),
       latency_ms_(metrics_.histogram("query_latency_ms",
                                      "Submission-to-completion latency")),
       queue_wait_ms_(metrics_.histogram("queue_wait_ms",
@@ -138,6 +148,11 @@ GraphSession::GraphSession(Graph graph, SessionConfig cfg)
     pool_injector_.emplace(cfg_.resilience.pool_fault);
     admission_.set_fault_injection(&*pool_injector_,
                                    cfg_.resilience.pool_fault.max_unit_attempts);
+  }
+  if (cfg_.sharding.enabled()) {
+    if (cfg_.sharding.fault.enabled())
+      STM_CHECK(cfg_.sharding.fault.max_unit_attempts >= 1);
+    rebuild_shards(dyn_.snapshot(), nullptr);
   }
 }
 
@@ -207,12 +222,143 @@ CircuitBreaker::State GraphSession::breaker_state(EngineKind kind) {
   return breakers_[static_cast<std::size_t>(kind)].state();
 }
 
+bool GraphSession::shardable(EngineKind kind, const QueryRequest& req) const {
+  // kReference stays unsharded on purpose: it is the fallback of last resort
+  // and must not share failure modes with the coordinator machinery.
+  return cfg_.sharding.enabled() &&
+         (kind == EngineKind::kSimt || kind == EngineKind::kHost) &&
+         req.plan.induced == Induced::kEdge;
+}
+
+std::shared_ptr<const dist::ShardedMatcher> GraphSession::sharded_matcher(
+    EngineKind kind, const QueryRequest& req) {
+  std::string key = std::string(to_string(kind)) + '|' +
+                    std::to_string(static_cast<int>(req.plan.induced)) +
+                    std::to_string(static_cast<int>(req.plan.count_mode)) +
+                    '|' + req.pattern.to_string();
+  {
+    std::lock_guard<std::mutex> lock(shard_matchers_mu_);
+    auto it = shard_matchers_.find(key);
+    if (it != shard_matchers_.end()) return it->second;
+  }
+  dist::ShardedOptions opts;
+  opts.plan = req.plan;
+  opts.local_engine = kind == EngineKind::kSimt ? dist::LocalEngine::kSimt
+                                                : dist::LocalEngine::kHost;
+  opts.anchor_engine =
+      kind == EngineKind::kSimt ? DeltaEngine::kSimt : DeltaEngine::kHost;
+  // One engine thread per scheduler unit: cross-shard parallelism comes from
+  // the shard scheduler's workers, not from nested host threads. Per-request
+  // engine knobs (req.host / req.simt) do not reach the sharded path — the
+  // session's ShardingConfig governs it, which keeps cached coordinators
+  // valid across requests.
+  opts.host.num_threads = 1;
+  opts.num_workers = cfg_.sharding.num_workers;
+  opts.cut_chunk_size = cfg_.sharding.cut_chunk_size;
+  opts.fault = cfg_.sharding.fault;
+  auto matcher =
+      std::make_shared<const dist::ShardedMatcher>(req.pattern, opts);
+  std::lock_guard<std::mutex> lock(shard_matchers_mu_);
+  return shard_matchers_.emplace(std::move(key), std::move(matcher))
+      .first->second;
+}
+
+void GraphSession::rebuild_shards(std::shared_ptr<const GraphSnapshot> snap,
+                                  const DeltaEdges* delta) {
+  std::shared_ptr<const dist::Partition> next;
+  if (delta != nullptr) {
+    std::shared_ptr<const ShardState> cur;
+    {
+      std::lock_guard<std::mutex> lock(shard_mu_);
+      cur = shard_state_;
+    }
+    STM_CHECK_MSG(cur != nullptr,
+                  "partition refresh without an initial partition");
+    next = std::make_shared<const dist::Partition>(
+        dist::refresh_partition(*cur->partition, snap->view(), *delta));
+  } else {
+    dist::PartitionConfig pcfg;
+    pcfg.num_shards = cfg_.sharding.num_shards;
+    pcfg.strategy = cfg_.sharding.strategy;
+    pcfg.hash_salt = cfg_.sharding.hash_salt;
+    next = std::make_shared<const dist::Partition>(
+        dist::partition_graph(dyn_.base(), pcfg));
+  }
+
+  // Publish the balance gauges from the materialized shards: labeled
+  // per-shard series plus the aggregate imbalance / cut-fraction pair.
+  const std::uint32_t num_shards = next->num_shards();
+  std::vector<std::uint64_t> incident(num_shards, 0);
+  for (const auto& [u, v] : next->cut_edges) {
+    ++incident[next->owner_of(u)];
+    ++incident[next->owner_of(v)];
+  }
+  double max_load = 0.0;
+  double total_load = 0.0;
+  for (std::uint32_t s = 0; s < num_shards; ++s) {
+    const dist::Shard& shard = *next->shards[s];
+    const double load = static_cast<double>(shard.local.num_edges()) +
+                        0.5 * static_cast<double>(incident[s]);
+    max_load = std::max(max_load, load);
+    total_load += load;
+    const std::string label = "{shard=\"" + std::to_string(s) + "\"}";
+    metrics_.gauge("shard_owned_vertices" + label, "Vertices owned per shard")
+        .set(static_cast<double>(shard.num_owned()));
+    metrics_.gauge("shard_intra_edges" + label, "Intra-shard edges per shard")
+        .set(static_cast<double>(shard.local.num_edges()));
+    metrics_
+        .gauge("shard_cut_edges" + label,
+               "Cut edges owned per shard (min-shard rule)")
+        .set(static_cast<double>(shard.cut_edges.size()));
+  }
+  shard_imbalance_.set(total_load > 0.0 ? max_load * num_shards / total_load
+                                        : 1.0);
+  cut_edge_fraction_.set(next->num_edges > 0
+                             ? static_cast<double>(next->cut_edges.size()) /
+                                   static_cast<double>(next->num_edges)
+                             : 0.0);
+
+  auto state = std::make_shared<ShardState>();
+  state->snapshot = std::move(snap);
+  state->partition = std::move(next);
+  std::lock_guard<std::mutex> lock(shard_mu_);
+  shard_state_ = std::move(state);
+}
+
 QueryResult GraphSession::execute_engine(EngineKind kind,
                                          const QueryRequest& req,
                                          const MatchingPlan& plan,
                                          const GraphSnapshot& snap,
-                                         const CancelToken& token) {
+                                         const CancelToken& token,
+                                         std::uint32_t attempt) {
   QueryResult result;
+  if (shardable(kind, req)) {
+    std::shared_ptr<const ShardState> state;
+    {
+      std::lock_guard<std::mutex> lock(shard_mu_);
+      state = shard_state_;
+    }
+    // The coordinator must run on the exact graph version its partition was
+    // built from; a query racing an update's partition refresh falls back to
+    // the unsharded path for its pinned snapshot instead.
+    if (state != nullptr && state->snapshot->epoch() == snap.epoch()) {
+      const auto matcher = sharded_matcher(kind, req);
+      const dist::ShardedResult r = matcher->match(
+          state->snapshot->view(), *state->partition, plan, attempt, &token);
+      sharded_queries_.inc();
+      shard_chunk_steals_.inc(r.chunk_steals);
+      result.count = r.count;
+      for (const dist::ShardStats& st : r.shards) result.stats += st.query;
+      // r's totals also cover the anchored chunks and the coordinator's own
+      // injector; they supersede the per-shard sums.
+      result.stats.faults_injected = r.faults_injected;
+      result.stats.units_recovered = r.units_recovered;
+      result.stats.status = r.status;
+      result.status = r.status;
+      result.error = r.error;
+      return result;
+    }
+  }
   const GraphView g = snap.view();
   switch (kind) {
     case EngineKind::kSimt: {
@@ -263,7 +409,7 @@ QueryResult GraphSession::try_engine(EngineKind kind, const QueryRequest& req,
     QueryRequest attempt_req = req;
     attempt_req.simt.fault.incarnation = req.simt.fault.incarnation + attempt;
     attempt_req.host.fault.incarnation = req.host.fault.incarnation + attempt;
-    result = execute_engine(kind, attempt_req, plan, snap, token);
+    result = execute_engine(kind, attempt_req, plan, snap, token, attempt);
   } catch (const check_error& e) {
     // Precondition violation: the query (not the engine) is at fault.
     result = QueryResult{};
@@ -536,6 +682,9 @@ UpdateOutcome GraphSession::do_apply(const UpdateBatch& batch) {
   edges_inserted_.inc(applied.stats.inserted);
   edges_deleted_.inc(applied.stats.deleted);
   graph_epoch_.set(static_cast<double>(out.epoch));
+  // Keep the partition paired with the newest snapshot (halo refresh of the
+  // touched shards only); queries pin the pair atomically under shard_mu_.
+  if (cfg_.sharding.enabled()) rebuild_shards(applied.snapshot, &applied.applied);
 
   if (!applied.applied.empty()) {
     Timer inc_timer;

@@ -47,6 +47,8 @@
 #include "core/fault.hpp"
 #include "core/host_engine.hpp"
 #include "core/query_stats.hpp"
+#include "dist/partition.hpp"
+#include "dist/sharded.hpp"
 #include "dynamic/dynamic_graph.hpp"
 #include "dynamic/incremental.hpp"
 #include "graph/graph.hpp"
@@ -183,6 +185,28 @@ struct ResilienceConfig {
   FaultConfig pool_fault;
 };
 
+/// Sharded execution mode of a session (DESIGN.md §11). With num_shards > 0
+/// the session partitions the graph at construction, keeps the partition in
+/// sync with applied update batches (halo refresh of the touched shards),
+/// and serves edge-induced kSimt/kHost queries through the cross-shard
+/// coordinator; other queries (vertex-induced, kReference, 1-vertex-graph
+/// corner cases) transparently use the unsharded path.
+struct ShardingConfig {
+  /// 0 disables sharded execution.
+  std::uint32_t num_shards = 0;
+  dist::PartitionStrategy strategy = dist::PartitionStrategy::kContiguous;
+  std::uint64_t hash_salt = 0;
+  /// Shard-scheduler workers (0 = one per shard).
+  std::uint32_t num_workers = 0;
+  /// Cut edges per stealable anchor chunk.
+  std::uint32_t cut_chunk_size = 16;
+  /// Chaos for FaultSite::kShardFailure (shard-local runs and anchor chunks
+  /// re-run with bumped incarnations).
+  FaultConfig fault;
+
+  bool enabled() const { return num_shards > 0; }
+};
+
 struct SessionConfig {
   /// Queries executing concurrently (dispatcher workers).
   std::size_t max_concurrent_queries = 4;
@@ -197,6 +221,8 @@ struct SessionConfig {
   /// Chaos for the update path (FaultSite::kUpdateApply: a batch fails after
   /// validation, before its snapshot is published; the graph is unchanged).
   FaultConfig update_fault;
+  /// Sharded execution mode (off by default).
+  ShardingConfig sharding;
 };
 
 class GraphSession {
@@ -287,7 +313,16 @@ class GraphSession {
   QueryResult execute_engine(EngineKind kind, const QueryRequest& req,
                              const MatchingPlan& plan,
                              const GraphSnapshot& snap,
-                             const CancelToken& token);
+                             const CancelToken& token, std::uint32_t attempt);
+  /// Sharded-mode eligibility for (kind, req) — see ShardingConfig.
+  bool shardable(EngineKind kind, const QueryRequest& req) const;
+  /// Cached cross-shard coordinator for the request's pattern/options.
+  std::shared_ptr<const dist::ShardedMatcher> sharded_matcher(
+      EngineKind kind, const QueryRequest& req);
+  /// (Re)builds the partition for `snap` and publishes it with the per-shard
+  /// gauges; `delta` refreshes instead of rebuilding when non-null.
+  void rebuild_shards(std::shared_ptr<const GraphSnapshot> snap,
+                      const DeltaEdges* delta);
   /// Retry + breaker + fallback-chain walk around try_engine.
   QueryResult execute_resilient(const QueryRequest& req,
                                 const MatchingPlan& plan,
@@ -300,6 +335,20 @@ class GraphSession {
   SessionConfig cfg_;
   PlanCache plan_cache_;
   MetricsRegistry metrics_;
+
+  /// Sharded mode: the partition and the snapshot it was built from, swapped
+  /// atomically under shard_mu_ so a query always sees a matched pair.
+  struct ShardState {
+    std::shared_ptr<const GraphSnapshot> snapshot;
+    std::shared_ptr<const dist::Partition> partition;
+  };
+  mutable std::mutex shard_mu_;
+  std::shared_ptr<const ShardState> shard_state_;
+  /// Coordinators are pattern-analysis-heavy (one anchored plan per pattern
+  /// edge); cache them keyed by pattern + semantics + engine kind.
+  std::mutex shard_matchers_mu_;
+  std::map<std::string, std::shared_ptr<const dist::ShardedMatcher>>
+      shard_matchers_;
 
   /// Serializes apply/compact (single logical writer); never held while an
   /// engine runs a query.
@@ -330,12 +379,16 @@ class GraphSession {
   Counter& updates_failed_;
   Counter& edges_inserted_;
   Counter& edges_deleted_;
+  Counter& sharded_queries_;
+  Counter& shard_chunk_steals_;
   Gauge& inflight_;
   Gauge& queue_depth_;
   Gauge& cache_hit_rate_;
   Gauge& graph_epoch_;
   Gauge& delta_speedup_;
   Gauge& standing_queries_;
+  Gauge& shard_imbalance_;
+  Gauge& cut_edge_fraction_;
   Histogram& latency_ms_;
   Histogram& queue_wait_ms_;
   Histogram& update_latency_ms_;

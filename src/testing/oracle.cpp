@@ -9,6 +9,7 @@
 #include "core/engine.hpp"
 #include "core/host_engine.hpp"
 #include "core/recursive.hpp"
+#include "dist/sharded.hpp"
 #include "dynamic/dynamic_graph.hpp"
 #include "dynamic/incremental.hpp"
 #include "pattern/matching_order.hpp"
@@ -28,6 +29,8 @@ const char* to_string(EngineKind kind) {
       return "simt";
     case EngineKind::kIncremental:
       return "incremental";
+    case EngineKind::kSharded:
+      return "sharded";
   }
   return "unknown";
 }
@@ -110,6 +113,31 @@ OracleReport run_oracle(const TestCase& c, const OracleOptions& opts) {
     report.counts.push_back({EngineKind::kIncremental, incremental_replay(c)});
   } else {
     report.skipped.push_back(EngineKind::kIncremental);
+  }
+
+  // Sharded coordinator lane: the cut-edge decomposition shares the
+  // incremental path's edge-induced-only restriction; num_vertices > 0 is a
+  // partition precondition.
+  if (opts.run_sharded && c.plan.induced == Induced::kEdge &&
+      c.graph.num_vertices() > 0 &&
+      c.graph.num_edges() <= opts.sharded_max_edges) {
+    dist::PartitionConfig pcfg;
+    pcfg.num_shards = c.num_shards;
+    pcfg.strategy = c.shard_strategy;
+    const dist::ShardedOptions sharded_opts = [&] {
+      dist::ShardedOptions o;
+      o.plan = c.plan;
+      o.local_engine = dist::LocalEngine::kHost;
+      o.host = c.host;
+      return o;
+    }();
+    const dist::ShardedResult r =
+        dist::sharded_match(c.graph, c.pattern, pcfg, sharded_opts);
+    STM_CHECK_MSG(r.status == QueryStatus::kOk,
+                  "sharded lane failed: " << r.error);
+    report.counts.push_back({EngineKind::kSharded, r.count});
+  } else {
+    report.skipped.push_back(EngineKind::kSharded);
   }
 
   for (const EngineCount& e : report.counts)

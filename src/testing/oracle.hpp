@@ -28,8 +28,9 @@ enum class EngineKind : std::uint8_t {
   kHost,           // host-thread engine
   kSimt,           // simulated-GPU stack engine
   kIncremental,    // IncrementalMatcher replaying the graph as one batch
+  kSharded,        // cross-shard coordinator over the case's sampled partition
 };
-inline constexpr std::size_t kNumEngineKinds = 5;
+inline constexpr std::size_t kNumEngineKinds = 6;
 
 const char* to_string(EngineKind kind);
 
@@ -37,10 +38,14 @@ struct OracleOptions {
   bool run_host = true;
   bool run_simt = true;
   bool run_incremental = true;
+  bool run_sharded = true;
   /// The incremental replay anchors one enumeration per (pattern edge x
   /// delta edge x orientation); skip it for graphs past this many edges so
   /// a fuzz trial stays O(engine run), not O(edges x engine run).
   EdgeId incremental_max_edges = 300;
+  /// Same bound for the sharded lane (its cut-edge term is anchored work of
+  /// the same shape).
+  EdgeId sharded_max_edges = 300;
 };
 
 struct EngineCount {

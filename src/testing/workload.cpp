@@ -279,6 +279,14 @@ TestCase random_case(std::uint64_t seed, const WorkloadOptions& opts) {
   c.plan = random_plan_options(rng, opts);
   c.simt = random_engine_config(rng);
   c.host = random_host_config(rng);
+  // Sharded-lane knobs from a derived stream, after everything else: the
+  // main stream's draws are untouched, so every pre-existing seed still
+  // yields the same (graph, pattern, knobs) bit for bit.
+  Rng shard_rng(seed ^ 0x9e3779b97f4a7c15ULL);
+  static constexpr std::uint32_t kShardCounts[] = {1, 2, 4, 8};
+  c.num_shards = kShardCounts[shard_rng.next_below(4)];
+  c.shard_strategy = static_cast<dist::PartitionStrategy>(
+      shard_rng.next_below(dist::kNumPartitionStrategies));
   return c;
 }
 
@@ -297,7 +305,9 @@ std::string describe(const TestCase& c) {
      << " unroll=" << c.simt.unroll << " blocks=" << c.simt.device.num_blocks
      << " wpb=" << c.simt.device.warps_per_block
      << " steal=" << (c.simt.local_steal ? 1 : 0)
-     << (c.simt.global_steal ? 1 : 0) << " threads=" << c.host.num_threads;
+     << (c.simt.global_steal ? 1 : 0) << " threads=" << c.host.num_threads
+     << " shards=" << c.num_shards << "/"
+     << dist::to_string(c.shard_strategy);
   return os.str();
 }
 

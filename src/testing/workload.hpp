@@ -19,6 +19,7 @@
 
 #include "core/config.hpp"
 #include "core/host_engine.hpp"
+#include "dist/partition.hpp"
 #include "graph/graph.hpp"
 #include "pattern/pattern.hpp"
 #include "pattern/plan.hpp"
@@ -89,6 +90,10 @@ struct TestCase {
   PlanOptions plan;
   EngineConfig simt;
   HostEngineConfig host;
+  /// Sharded-lane knobs, sampled from an independent derived stream so
+  /// pre-existing seeds keep generating bit-identical cases.
+  std::uint32_t num_shards = 1;  // in {1, 2, 4, 8}
+  dist::PartitionStrategy shard_strategy = dist::PartitionStrategy::kContiguous;
 };
 
 /// The fully derived case of `seed`: same seed, same case, bit for bit.

@@ -1,0 +1,125 @@
+// Partition inspector: shard balance of a graph under a chosen strategy.
+//
+// Prints the per-shard vertex/edge/cut tallies and the imbalance ratios of
+// graph/degree_stats::balance_report for a synthetic graph or an edge-list
+// file, across one or more strategies — the operational view of DESIGN.md
+// §11's partitioning trade-offs (a contiguous split of a power-law graph
+// shows the hub-shard imbalance degree-balanced greedy fixes, at the price
+// of a larger cut).
+//
+//   partition_info --family=power-law --vertices=1000 --shards=4
+//   partition_info --graph=web.el --shards=8 --strategy=degree-balanced
+//   partition_info --family=erdos-renyi --shards=4 --strategy=all
+
+#include <algorithm>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "dist/partition.hpp"
+#include "graph/degree_stats.hpp"
+#include "graph/edge_list.hpp"
+#include "graph/generators.hpp"
+#include "util/check.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace stm;
+
+void print_usage() {
+  std::cout <<
+      "usage: partition_info [options]\n"
+      "  --graph=FILE       edge-list file to load (overrides --family)\n"
+      "  --family=NAME      synthetic family: erdos-renyi | power-law\n"
+      "                     (default erdos-renyi)\n"
+      "  --vertices=N       synthetic graph size (default 1000)\n"
+      "  --degree=D         average degree target (default 8)\n"
+      "  --seed=S           generator seed (default 42)\n"
+      "  --shards=N         shard count (default 4)\n"
+      "  --strategy=NAME    contiguous | degree-balanced | hash |\n"
+      "                     interleaved | all (default all)\n"
+      "  --salt=S           hash-strategy salt (default 0)\n";
+}
+
+Graph build_graph(const Options& opts) {
+  const std::string path = opts.get("graph", "");
+  if (!path.empty()) return load_edge_list(path);
+  const auto n = static_cast<VertexId>(opts.get_int("vertices", 1000));
+  const double degree = opts.get_double("degree", 8.0);
+  const auto seed = static_cast<std::uint64_t>(opts.get_int("seed", 42));
+  const std::string family = opts.get("family", "erdos-renyi");
+  if (family == "erdos-renyi") {
+    const double p = n > 1 ? degree / static_cast<double>(n - 1) : 0.0;
+    return make_erdos_renyi(n, p, seed);
+  }
+  if (family == "power-law") {
+    const auto m = static_cast<VertexId>(
+        std::max<std::int64_t>(1, static_cast<std::int64_t>(degree / 2)));
+    return make_barabasi_albert(n, m, seed);
+  }
+  STM_CHECK_MSG(false, "unknown family '" << family
+                                          << "' (erdos-renyi | power-law)");
+}
+
+void report_one(const Graph& g, dist::PartitionStrategy strategy,
+                std::uint32_t shards, std::uint64_t salt) {
+  dist::PartitionConfig cfg;
+  cfg.num_shards = shards;
+  cfg.strategy = strategy;
+  cfg.hash_salt = salt;
+  const dist::Partition p = dist::partition_graph(g, cfg);
+  const BalanceReport rep = p.balance(g);
+
+  std::cout << "strategy: " << dist::to_string(strategy) << "\n";
+  Table table({"shard", "vertices", "intra edges", "incident cut", "edge load"});
+  for (const ShardBalance& s : rep.shards) {
+    table.add_row({std::to_string(s.shard), Table::fmt_count(s.vertices),
+                   Table::fmt_count(s.intra_edges),
+                   Table::fmt_count(s.incident_cut_edges),
+                   Table::fmt(s.edge_load(), 1)});
+  }
+  table.print(std::cout);
+  std::cout << "cut edges: " << rep.cut_edges << " ("
+            << Table::fmt(100.0 * rep.cut_fraction, 2) << "% of "
+            << g.num_edges() << ")\n"
+            << "vertex imbalance (max/mean): "
+            << Table::fmt(rep.vertex_imbalance, 3) << "\n"
+            << "edge-load imbalance (max/mean): "
+            << Table::fmt(rep.edge_imbalance, 3) << "\n\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Options opts(argc, argv);
+    if (opts.has("help")) {
+      print_usage();
+      return 0;
+    }
+    opts.allow_only({"graph", "family", "vertices", "degree", "seed", "shards",
+                     "strategy", "salt", "help"});
+    const Graph g = build_graph(opts);
+    const auto shards =
+        static_cast<std::uint32_t>(opts.get_int("shards", 4));
+    STM_CHECK_MSG(shards >= 1, "--shards must be >= 1");
+    const auto salt = static_cast<std::uint64_t>(opts.get_int("salt", 0));
+    const std::string strategy = opts.get("strategy", "all");
+
+    std::cout << "graph: " << g.num_vertices() << " vertices, "
+              << g.num_edges() << " edges, " << shards << " shards\n\n";
+    if (strategy == "all") {
+      for (std::size_t s = 0; s < dist::kNumPartitionStrategies; ++s)
+        report_one(g, static_cast<dist::PartitionStrategy>(s), shards, salt);
+    } else {
+      report_one(g, dist::partition_strategy_from_string(strategy), shards,
+                 salt);
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}
