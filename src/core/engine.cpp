@@ -98,8 +98,10 @@ struct WarpState {
 class StackEngine {
  public:
   StackEngine(GraphView g, const MatchingPlan& plan, const EngineConfig& cfg,
-              const CancelToken* cancel = nullptr)
-      : g_(g), plan_(plan), cfg_(cfg), poller_(cancel), k_(plan.size()) {
+              const CancelToken* cancel = nullptr,
+              EmbeddingSink* sink = nullptr)
+      : g_(g), plan_(plan), cfg_(cfg), poller_(cancel), sink_(sink),
+        k_(plan.size()) {
     cfg_.device.validate();
     STM_CHECK(cfg_.unroll >= 1 && cfg_.unroll <= kWarpWidth);
     STM_CHECK(cfg_.stop_level >= 1);
@@ -315,8 +317,11 @@ class StackEngine {
                            ? static_cast<std::size_t>(m)
                            : static_cast<std::size_t>(w.ucol[cand_mat_level]);
       const auto& set = w.values[cand_node][col];
-      for (VertexId v : set)
-        if (choice_ok(w, entry, v)) ++w.count;
+      for (VertexId v : set) {
+        if (!choice_ok(w, entry, v)) continue;
+        ++w.count;
+        if (emit_active_) stage_embedding(w, v);
+      }
       scan.busy_lane_slots += set.size();
     }
     scan.waves = (scan.busy_lane_slots + kWarpWidth - 1) / kWarpWidth;
@@ -325,6 +330,78 @@ class StackEngine {
     charge(w, cfg_.cost.set_op_cycles(scan));
     w.iter[l] += ncols;
     w.num_cols[entry] = 0;
+  }
+
+  // --- embedding emission --------------------------------------------------
+  std::uint64_t idx_of(VertexId v) const {
+    return (v - cfg_.v_begin) / cfg_.v_stride;
+  }
+
+  /// Stages a matched embedding into its outer-index bucket. `w.matched[0..
+  /// k-2]` holds the prefix; `v` is the last-level choice.
+  void stage_embedding(const WarpState& w, VertexId v) {
+    Embedding e(k_);
+    for (std::size_t i = 0; i + 1 < k_; ++i) e[i] = w.matched[i];
+    e[k_ - 1] = v;
+    emit_buckets_[idx_of(w.matched[0])].push_back(std::move(e));
+  }
+
+  /// Smallest outer virtual index a live unit can still emit into, derived
+  /// from the unit's frozen level-0 window: while any deeper work is in
+  /// flight, iter[0] still points at the window start, so c0[iter[0]] lower-
+  /// bounds every future matched[0] of the unit. Units carrying no level-0
+  /// range (steal entry >= 1, anchored frames) are pinned to matched[0].
+  template <typename Unit>
+  std::uint64_t unit_min_index(const Unit& u) const {
+    if (u.level < 0) return ~std::uint64_t{0};
+    if (u.iter[0] < u.limit[0] && !u.c0.empty())
+      return idx_of(u.c0[static_cast<std::size_t>(u.iter[0])]);
+    if (u.level >= 1) return idx_of(u.matched[0]);
+    return ~std::uint64_t{0};
+  }
+
+  std::uint64_t snapshot_min_index(const StackSnapshot& s) const {
+    if (s.entry_level == 0)
+      return idx_of(s.c0[static_cast<std::size_t>(s.iter)]);
+    return idx_of(s.matched[0]);
+  }
+
+  /// Conservative low-watermark: every bucket below it is complete (no
+  /// unclaimed range, running warp, parked snapshot, or recovery unit can
+  /// still reach it), so it is safe to post.
+  std::uint64_t emit_watermark() const {
+    std::uint64_t wm = (v_cursor_ < v_end_) ? v_cursor_ : v_end_;
+    for (const auto& w : warps_)
+      if (!w.done) wm = std::min(wm, unit_min_index(w));
+    for (const auto& slot : slots_)
+      if (slot.has_value()) wm = std::min(wm, snapshot_min_index(*slot));
+    for (const auto& unit : recovery_) {
+      if (unit.frame.has_value())
+        wm = std::min(wm, unit_min_index(*unit.frame));
+      else
+        wm = std::min(wm, snapshot_min_index(*unit.split));
+    }
+    return wm;
+  }
+
+  /// Posts every newly complete bucket, sorted into DFS order (lexicographic
+  /// over plan-position tuples — within one outer vertex, staging order
+  /// depends on steal interleaving, the sort canonicalizes it).
+  void emit_flush() {
+    if (!emit_active_) return;
+    const std::uint64_t wm = emit_watermark();
+    while (emit_next_flush_ < wm) {
+      auto& bucket = emit_buckets_[emit_next_flush_];
+      std::sort(bucket.begin(), bucket.end());
+      if (!sink_->post(emit_next_flush_, std::move(bucket))) {
+        emit_active_ = false;  // stream aborted; keep counting
+        emit_buckets_.clear();
+        emit_buckets_.shrink_to_fit();
+        return;
+      }
+      bucket = {};
+      ++emit_next_flush_;
+    }
   }
 
   // --- work acquisition ----------------------------------------------------
@@ -666,6 +743,7 @@ class StackEngine {
   const MatchingPlan& plan_;
   EngineConfig cfg_;
   CancelPoller poller_;
+  EmbeddingSink* sink_ = nullptr;
   std::size_t k_;
   std::uint64_t shared_per_warp_ = 0;
 
@@ -682,6 +760,13 @@ class StackEngine {
   std::deque<RecoveryUnit> recovery_;
   std::uint64_t steal_seq_ = 0;  // key basis for in-transit loss decisions
   bool recovery_exhausted_ = false;
+
+  /// Emission state: per-outer-index staging buckets, the next bucket to
+  /// flush, and whether the sink still accepts posts.
+  bool emit_active_ = false;
+  std::vector<std::vector<Embedding>> emit_buckets_;
+  std::uint64_t emit_next_flush_ = 0;
+  std::uint64_t sched_iters_ = 0;
 };
 
 MatchResult StackEngine::run() {
@@ -698,6 +783,12 @@ MatchResult StackEngine::run() {
   slots_.assign(cfg_.device.num_blocks, std::nullopt);
   slot_clock_.assign(cfg_.device.num_blocks, 0);
   idle_count_.assign(cfg_.device.num_blocks, 0);
+
+  if (sink_ != nullptr) {
+    sink_->begin(v_end_);
+    emit_buckets_.assign(v_end_, {});
+    emit_active_ = true;
+  }
 
   std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap;
   for (auto& w : warps_) {
@@ -743,7 +834,13 @@ MatchResult StackEngine::run() {
     }
     step(w);
     heap.push({w.clock, w.id});
+    // Periodic bucket release: amortizes the O(warps) watermark scan.
+    if (emit_active_ && (++sched_iters_ & 127) == 0) emit_flush();
   }
+  // Final flush. On a clean run the watermark is v_end_ (nothing live); on
+  // interruption or recovery exhaustion it stops at the first incomplete
+  // bucket, so the stream ends at a well-defined complete-bucket prefix.
+  emit_flush();
 
   MatchResult result;
   for (const auto& w : warps_) {
@@ -780,7 +877,8 @@ MatchResult StackEngine::run() {
 }  // namespace
 
 MatchResult stmatch_match(GraphView g, const MatchingPlan& plan,
-                          const EngineConfig& cfg, const CancelToken* cancel) {
+                          const EngineConfig& cfg, const CancelToken* cancel,
+                          EmbeddingSink* sink) {
   if (cfg.fault.enabled()) {
     // Whole-engine-call failure: thrown (not returned) so the service layer's
     // exception boundary and fallback chain are exercised end to end.
@@ -789,7 +887,7 @@ MatchResult stmatch_match(GraphView g, const MatchingPlan& plan,
       throw FaultInjectedError("injected fault: SIMT engine call failed");
     }
   }
-  StackEngine engine(g, plan, cfg, cancel);
+  StackEngine engine(g, plan, cfg, cancel, sink);
   return engine.run();
 }
 

@@ -11,6 +11,7 @@
 
 #include "core/cancel.hpp"
 #include "core/config.hpp"
+#include "core/emit.hpp"
 #include "graph/view.hpp"
 #include "pattern/plan.hpp"
 
@@ -22,9 +23,20 @@ namespace stm {
 /// polled in the scheduler loop (wall-clock deadlines apply even though the
 /// engine's own time is simulated); when it fires, the run returns the
 /// partial count with query.status set.
+///
+/// With a non-null `sink` the engine also emits every matched embedding:
+/// bucket id = the outer-loop virtual index of matched[0], so bucket order
+/// is outer-vertex order regardless of which warp (or steal lineage) found
+/// the match. Matches are staged per bucket as warps count them; a bucket is
+/// posted (sorted into DFS order) once the scheduler's low-watermark proves
+/// no live work unit — unclaimed range, running warp, migrating snapshot, or
+/// recovery unit — can still produce a match in it. Warp aborts and steal
+/// losses therefore never affect the stream: their exact-resume recovery
+/// re-stages nothing and loses nothing.
 MatchResult stmatch_match(GraphView g, const MatchingPlan& plan,
                           const EngineConfig& cfg = {},
-                          const CancelToken* cancel = nullptr);
+                          const CancelToken* cancel = nullptr,
+                          EmbeddingSink* sink = nullptr);
 
 /// Convenience wrapper: reorders `p` into matching order, compiles a plan,
 /// and runs the engine.

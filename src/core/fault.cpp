@@ -15,6 +15,7 @@ const char* to_string(FaultSite site) {
     case FaultSite::kEngineThrow: return "engine_throw";
     case FaultSite::kUpdateApply: return "update_apply";
     case FaultSite::kShardFailure: return "shard_failure";
+    case FaultSite::kEmitDrop: return "emit_drop";
   }
   return "unknown";
 }

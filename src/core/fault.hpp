@@ -36,8 +36,10 @@ enum class FaultSite : std::uint8_t {
                     // its snapshot (exercises apply atomicity)
   kShardFailure,    // a sharded-execution unit (shard-local run or cut-edge
                     // anchor chunk) fails; re-run with bumped incarnation
+  kEmitDrop,        // a posted embedding batch is dropped in the emission
+                    // transport; the retained staged copy is retransmitted
 };
-inline constexpr std::size_t kNumFaultSites = 9;
+inline constexpr std::size_t kNumFaultSites = 10;
 
 const char* to_string(FaultSite site);
 

@@ -1,10 +1,12 @@
 #include "core/host_engine.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <deque>
 #include <mutex>
 #include <optional>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/recursive.hpp"
@@ -28,7 +30,7 @@ struct RetryChunk {
 
 HostMatchResult host_match(GraphView g, const MatchingPlan& plan,
                            const HostEngineConfig& cfg,
-                           const CancelToken* cancel) {
+                           const CancelToken* cancel, EmbeddingSink* sink) {
   STM_CHECK(cfg.chunk_size >= 1);
   std::optional<FaultInjector> injector;
   if (cfg.fault.enabled()) {
@@ -43,7 +45,19 @@ HostMatchResult host_match(GraphView g, const MatchingPlan& plan,
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
   const VertexId n = g.num_vertices();
-  std::atomic<VertexId> cursor{0};
+  std::atomic<VertexId> cursor{cfg.v_begin};
+  // Emission is disabled for the rest of the run once the sink reports the
+  // stream aborted/failed; counting continues unaffected.
+  std::atomic<bool> emit_stop{false};
+  if (sink != nullptr) {
+    const std::uint64_t num_buckets =
+        cfg.v_begin >= n
+            ? 0
+            : (static_cast<std::uint64_t>(n - cfg.v_begin) + cfg.chunk_size -
+               1) /
+                  cfg.chunk_size;
+    sink->begin(num_buckets);
+  }
   std::atomic<bool> interrupted{false};
   std::atomic<bool> budget_exhausted{false};
   std::atomic<std::size_t> active_chunks{0};
@@ -65,6 +79,44 @@ HostMatchResult host_match(GraphView g, const MatchingPlan& plan,
         // Dynamic chunk claiming is the host-side analogue of the warp-level
         // chunk grabbing in the SIMT engine.
         CancelPoller poller(cancel);
+        // Completed buckets not yet accepted by the sink. A worker never
+        // parks on backpressure while claimable work may exist (a blocked
+        // worker could be the only one able to run the retry chunk that
+        // holds the release head); it blocking-flushes only on exit, in
+        // ascending bucket order so the head-exemption guarantees progress.
+        std::vector<std::pair<std::uint64_t, std::vector<Embedding>>> pending;
+        auto flush_pending = [&](bool blocking) {
+          if (pending.empty()) return;
+          if (emit_stop.load(std::memory_order_relaxed)) {
+            pending.clear();
+            return;
+          }
+          std::sort(pending.begin(), pending.end(),
+                    [](const auto& a, const auto& b) {
+                      return a.first < b.first;
+                    });
+          std::size_t done = 0;
+          for (; done < pending.size(); ++done) {
+            auto& [bucket, batch] = pending[done];
+            if (blocking) {
+              if (!sink->post(bucket, std::move(batch))) {
+                emit_stop.store(true, std::memory_order_relaxed);
+                pending.clear();
+                return;
+              }
+            } else {
+              const auto r = sink->try_post(bucket, batch);
+              if (r == EmbeddingSink::TryPost::kWouldBlock) break;
+              if (r == EmbeddingSink::TryPost::kAborted) {
+                emit_stop.store(true, std::memory_order_relaxed);
+                pending.clear();
+                return;
+              }
+            }
+          }
+          pending.erase(pending.begin(),
+                        pending.begin() + static_cast<std::ptrdiff_t>(done));
+        };
         for (;;) {
           if (poller.fired_now()) {
             // Fired while this worker still had the loop to run: the count
@@ -101,19 +153,35 @@ HostMatchResult host_match(GraphView g, const MatchingPlan& plan,
               std::lock_guard<std::mutex> lock(retry_mu);
               if (retry.empty()) break;
             }
+            if (sink != nullptr) flush_pending(/*blocking=*/false);
             std::this_thread::yield();
             continue;
           }
           active_chunks.fetch_add(1, std::memory_order_acq_rel);
-          const std::uint64_t found = recursive_count_range(
-              g, plan, chunk.begin, chunk.end, &counters[t], cancel);
+          const bool emitting =
+              sink != nullptr && !emit_stop.load(std::memory_order_relaxed);
+          std::vector<Embedding> staged;
+          std::uint64_t found = 0;
+          if (emitting) {
+            const EmbeddingVisitor visit =
+                [&staged](const std::vector<VertexId>& mapping) {
+                  staged.push_back(mapping);
+                  return true;
+                };
+            found = recursive_enumerate_range(g, plan, chunk.begin, chunk.end,
+                                              visit, &counters[t], cancel);
+          } else {
+            found = recursive_count_range(g, plan, chunk.begin, chunk.end,
+                                          &counters[t], cancel);
+          }
           if (injector.has_value() &&
               injector->should_fail(
                   FaultSite::kHostTask,
                   (static_cast<std::uint64_t>(chunk.begin) << 16) |
                       chunk.attempts)) {
-            // The task died mid-chunk: its partial count is discarded and the
-            // whole chunk re-enqueued, so the final total stays exact.
+            // The task died mid-chunk: its partial count (and any staged
+            // embeddings) are discarded and the whole chunk re-enqueued, so
+            // the final total and the stream both stay exact.
             const std::uint32_t attempts = chunk.attempts + 1;
             if (attempts >= cfg.fault.max_unit_attempts) {
               budget_exhausted.store(true, std::memory_order_relaxed);
@@ -125,10 +193,21 @@ HostMatchResult host_match(GraphView g, const MatchingPlan& plan,
             counts[t] += found;
             if (chunk.attempts > 0)
               units_recovered.fetch_add(1, std::memory_order_relaxed);
+            // Post only chunks that enumerated to completion: a token that
+            // fired mid-chunk leaves `staged` a prefix of the bucket, which
+            // must not enter the stream (the drained prefix would no longer
+            // be bucket-aligned and thus not reproducible).
+            if (emitting && (cancel == nullptr || !cancel->expired())) {
+              const std::uint64_t bucket =
+                  (chunk.begin - cfg.v_begin) / cfg.chunk_size;
+              pending.emplace_back(bucket, std::move(staged));
+              flush_pending(/*blocking=*/false);
+            }
           }
           active_chunks.fetch_sub(1, std::memory_order_acq_rel);
           if (cancel != nullptr) cancel->report_progress();
         }
+        if (sink != nullptr) flush_pending(/*blocking=*/true);
       });
     }
     for (auto& w : workers) w.join();

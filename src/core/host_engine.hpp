@@ -10,6 +10,7 @@
 
 #include "core/cancel.hpp"
 #include "core/config.hpp"
+#include "core/emit.hpp"
 #include "core/fault.hpp"
 #include "core/query_stats.hpp"
 #include "graph/view.hpp"
@@ -22,6 +23,9 @@ struct HostEngineConfig {
   std::size_t num_threads = 0;
   /// Outer-loop vertices claimed per work grab.
   VertexId chunk_size = 16;
+  /// First outer-loop vertex (cursor start). Lets a resumed stream skip the
+  /// prefix already delivered to the client.
+  VertexId v_begin = 0;
   /// Deterministic fault-injection schedule (off by default). Sites
   /// interpreted here: kHostTask (a chunk's partial work is discarded and
   /// the chunk re-enqueued, bounded by max_unit_attempts) and kEngineThrow
@@ -41,8 +45,19 @@ struct HostMatchResult {
 /// polled cooperatively by every worker; when it fires, the run returns
 /// early with the partial count and stats.status = kDeadlineExceeded /
 /// kCancelled.
+///
+/// With a non-null `sink` the engine also emits every matched embedding:
+/// bucket id = chunk ordinal ((chunk.begin - v_begin) / chunk_size), dense
+/// and ascending in outer-loop vertex, so the sequenced stream is the plan's
+/// DFS order. A chunk's bucket is posted only after the chunk completed
+/// exactly (interrupted or kHostTask-failed chunks are never posted, keeping
+/// the stream exact; a retried chunk posts on its successful attempt).
+/// Workers never block on backpressure while claimable work (including retry
+/// chunks) exists — completed buckets park in a per-worker pending list and
+/// are flushed opportunistically, with a final blocking flush at exit.
 HostMatchResult host_match(GraphView g, const MatchingPlan& plan,
                            const HostEngineConfig& cfg = {},
-                           const CancelToken* cancel = nullptr);
+                           const CancelToken* cancel = nullptr,
+                           EmbeddingSink* sink = nullptr);
 
 }  // namespace stm

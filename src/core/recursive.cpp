@@ -33,8 +33,11 @@ class RecExec {
     return total;
   }
 
-  std::uint64_t run_seed(VertexId v0, VertexId v1) {
+  std::uint64_t run_seed(VertexId v0, VertexId v1,
+                         const EmbeddingVisitor* visit = nullptr) {
     STM_CHECK(k_ >= 2);
+    visit_ = visit;
+    stopped_ = false;
     matched_[0] = v0;
     bump_partials(0);
     materialize_entry(1);
@@ -43,7 +46,10 @@ class RecExec {
                   "seed (v0,v1) is not a valid level-0/1 prefix");
     matched_[1] = v1;
     bump_partials(1);
-    if (k_ == 2) return 1;
+    if (k_ == 2) {
+      if (visit_ != nullptr) (*visit_)({v0, v1});
+      return 1;
+    }
     materialize_entry(2);
     return recurse(2);
   }
@@ -207,8 +213,10 @@ std::uint64_t recursive_count_range(GraphView g, const MatchingPlan& plan,
 
 std::uint64_t recursive_enumerate_range(GraphView g, const MatchingPlan& plan,
                                         VertexId v_begin, VertexId v_end,
-                                        const EmbeddingVisitor& visit) {
-  RecExec exec(g, plan, nullptr);
+                                        const EmbeddingVisitor& visit,
+                                        RecursiveCounters* counters,
+                                        const CancelToken* cancel) {
+  RecExec exec(g, plan, counters, cancel);
   return exec.run_range(v_begin, v_end, &visit);
 }
 
@@ -217,6 +225,14 @@ std::uint64_t recursive_count_seed(GraphView g, const MatchingPlan& plan,
                                    RecursiveCounters* counters) {
   RecExec exec(g, plan, counters);
   return exec.run_seed(v0, v1);
+}
+
+std::uint64_t recursive_enumerate_seed(GraphView g, const MatchingPlan& plan,
+                                       VertexId v0, VertexId v1,
+                                       const EmbeddingVisitor& visit,
+                                       RecursiveCounters* counters) {
+  RecExec exec(g, plan, counters);
+  return exec.run_seed(v0, v1, &visit);
 }
 
 std::vector<std::pair<VertexId, VertexId>> enumerate_seeds(

@@ -59,9 +59,14 @@ using EmbeddingVisitor = std::function<bool(const std::vector<VertexId>&)>;
 
 /// Like recursive_count_range but invokes `visit` per embedding; stops early
 /// when the visitor returns false. Returns the number of embeddings visited.
+/// Counters and cancel behave as in recursive_count_range; when the token
+/// fires, the embeddings already visited form a valid prefix of the full
+/// DFS-order enumeration.
 std::uint64_t recursive_enumerate_range(GraphView g, const MatchingPlan& plan,
                                         VertexId v_begin, VertexId v_end,
-                                        const EmbeddingVisitor& visit);
+                                        const EmbeddingVisitor& visit,
+                                        RecursiveCounters* counters = nullptr,
+                                        const CancelToken* cancel = nullptr);
 
 /// Executes the plan with levels 0 and 1 pre-matched to (v0, v1): the
 /// edge-based work decomposition used by Dryadic-style CPU systems.
@@ -70,6 +75,15 @@ std::uint64_t recursive_enumerate_range(GraphView g, const MatchingPlan& plan,
 std::uint64_t recursive_count_seed(GraphView g, const MatchingPlan& plan,
                                    VertexId v0, VertexId v1,
                                    RecursiveCounters* counters = nullptr);
+
+/// Seed-anchored enumeration: like recursive_count_seed but invokes `visit`
+/// per embedding (DFS order under the fixed (v0, v1) prefix). Backs the
+/// standing-query delta streams, which anchor one enumeration per delta
+/// edge.
+std::uint64_t recursive_enumerate_seed(GraphView g, const MatchingPlan& plan,
+                                       VertexId v0, VertexId v1,
+                                       const EmbeddingVisitor& visit,
+                                       RecursiveCounters* counters = nullptr);
 
 /// Enumerates the level-0/1 seed pairs of the plan (the "edges" Dryadic
 /// distributes). For every valid v0, every valid v1 from level 1's candidate

@@ -15,7 +15,8 @@ namespace {
 /// follows a greedy connected order (max connectivity to the prefix, ties by
 /// degree then smallest id — the same heuristic as matching_order, with the
 /// seed forced).
-Pattern anchored_pattern(const Pattern& p, std::size_t a, std::size_t b) {
+Pattern anchored_pattern(const Pattern& p, std::size_t a, std::size_t b,
+                         std::vector<std::size_t>* perm_out) {
   const std::size_t k = p.size();
   std::vector<std::size_t> perm{a, b};
   std::vector<bool> used(k, false);
@@ -41,6 +42,7 @@ Pattern anchored_pattern(const Pattern& p, std::size_t a, std::size_t b) {
     perm.push_back(best);
     used[best] = true;
   }
+  if (perm_out != nullptr) *perm_out = perm;
   return p.relabeled(perm);
 }
 
@@ -84,8 +86,12 @@ AnchoredEnumerator::AnchoredEnumerator(const Pattern& pattern,
   anchor_opts.count_mode = CountMode::kEmbeddings;
   for (std::size_t a = 0; a < pattern_.size(); ++a)
     for (std::size_t b = a + 1; b < pattern_.size(); ++b)
-      if (pattern_.has_edge(a, b))
-        anchors_.emplace_back(anchored_pattern(pattern_, a, b), anchor_opts);
+      if (pattern_.has_edge(a, b)) {
+        std::vector<std::size_t> perm;
+        anchors_.emplace_back(anchored_pattern(pattern_, a, b, &perm),
+                              anchor_opts);
+        anchor_perms_.push_back(std::move(perm));
+      }
 
   if (base.count_mode == CountMode::kUniqueSubgraphs) {
     // |Aut(p)| = injective edge-preserving self-maps; with |V| and |E|
@@ -119,6 +125,32 @@ std::uint64_t AnchoredEnumerator::count_containing(GraphView g, VertexId u,
         cfg.pin_v1 = s1;
         total += stmatch_match(g, plan, cfg).count;
       }
+    }
+  }
+  return total;
+}
+
+std::uint64_t AnchoredEnumerator::enumerate_containing(
+    GraphView g, VertexId u, VertexId v, const AnchoredVisitor& visit,
+    std::uint64_t* runs) const {
+  std::uint64_t total = 0;
+  const std::size_t k = pattern_.size();
+  std::vector<VertexId> orig(k);
+  for (std::size_t a = 0; a < anchors_.size(); ++a) {
+    const MatchingPlan& plan = anchors_[a];
+    const auto& perm = anchor_perms_[a];
+    const EmbeddingVisitor emit = [&](const std::vector<VertexId>& mapping) {
+      for (std::size_t i = 0; i < k; ++i) orig[perm[i]] = mapping[i];
+      visit(orig);
+      return true;
+    };
+    const std::pair<VertexId, VertexId> seeds[2] = {{u, v}, {v, u}};
+    for (const auto& [s0, s1] : seeds) {
+      if (!label_ok(g, plan.exact_mask(0), s0) ||
+          !label_ok(g, plan.exact_mask(1), s1))
+        continue;
+      ++*runs;
+      total += recursive_enumerate_seed(g, plan, s0, s1, emit);
     }
   }
   return total;

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -82,6 +83,21 @@ class AnchoredEnumerator {
   std::uint64_t count_containing(GraphView g, VertexId u, VertexId v,
                                  std::uint64_t* runs) const;
 
+  /// Receives one embedding in *original pattern vertex order*:
+  /// embedding[i] = data vertex matched to pattern vertex i.
+  using AnchoredVisitor = std::function<void(const std::vector<VertexId>&)>;
+
+  /// Enumerates (rather than counts) the embeddings containing (u, v). Each
+  /// such embedding is visited exactly once — an injective map puts exactly
+  /// one pattern edge onto the data edge, so exactly one (anchor,
+  /// orientation) pair finds it. Enumeration always rides the seeded host
+  /// recursion regardless of the configured DeltaEngine (the engines agree
+  /// bit-exactly; recursion is the one with a visitor). Backs the
+  /// standing-query delta streams.
+  std::uint64_t enumerate_containing(GraphView g, VertexId u, VertexId v,
+                                     const AnchoredVisitor& visit,
+                                     std::uint64_t* runs) const;
+
   /// |Aut(pattern)| — the embeddings-per-subgraph factor (1 unless the base
   /// options requested kUniqueSubgraphs).
   std::uint64_t automorphisms() const { return automorphisms_; }
@@ -93,6 +109,9 @@ class AnchoredEnumerator {
   DeltaEngine engine_;
   EngineConfig simt_;
   std::vector<MatchingPlan> anchors_;  // anchor edge at levels 0/1
+  /// anchor_perms_[a][i] = original pattern vertex at position i of anchored
+  /// plan a; inverts the anchor relabeling when emitting embeddings.
+  std::vector<std::vector<std::size_t>> anchor_perms_;
   std::uint64_t automorphisms_ = 1;
 };
 

@@ -8,6 +8,7 @@
 
 #include "baselines/reference.hpp"
 #include "core/engine.hpp"
+#include "stream/delta_stream.hpp"
 #include "util/check.hpp"
 #include "util/timer.hpp"
 
@@ -103,6 +104,9 @@ GraphSession::GraphSession(Graph graph, SessionConfig cfg)
       shard_chunk_steals_(metrics_.counter(
           "shard_chunk_steals",
           "Sharded work units run by a foreign shard's worker")),
+      stream_emitted_total_(metrics_.counter(
+          "stream_emitted_total",
+          "Embeddings emitted into stream sequencers (pre-limit)")),
       inflight_(metrics_.gauge("inflight_queries", "Queries executing now")),
       queue_depth_(metrics_.gauge("queue_depth", "Queries waiting to start")),
       cache_hit_rate_(metrics_.gauge("plan_cache_hit_rate",
@@ -118,6 +122,8 @@ GraphSession::GraphSession(Graph graph, SessionConfig cfg)
           "Max/mean per-shard edge load (intra + half incident cut)")),
       cut_edge_fraction_(metrics_.gauge(
           "cut_edge_fraction", "Cut edges / total edges of the partition")),
+      open_streams_(
+          metrics_.gauge("open_streams", "Embedding streams open now")),
       latency_ms_(metrics_.histogram("query_latency_ms",
                                      "Submission-to-completion latency")),
       queue_wait_ms_(metrics_.histogram("queue_wait_ms",
@@ -127,6 +133,9 @@ GraphSession::GraphSession(Graph graph, SessionConfig cfg)
       incremental_latency_ms_(metrics_.histogram(
           "incremental_latency_ms",
           "Standing-query delta computation time per batch")),
+      stream_backpressure_ms_(metrics_.histogram(
+          "stream_backpressure_ms",
+          "Producer wall time blocked on stream backpressure, per stream")),
       watchdog_(cfg.resilience.watchdog_stall_ms, cfg.resilience.watchdog_poll_ms,
                 &watchdog_kills_),
       admission_(std::max<std::size_t>(1, cfg.max_concurrent_queries),
@@ -157,6 +166,15 @@ GraphSession::GraphSession(Graph graph, SessionConfig cfg)
 }
 
 GraphSession::~GraphSession() {
+  // Abort and settle whatever streams are still open: their producer threads
+  // and finalizers touch session members, so they must be gone before the
+  // members are. Surviving handles see only their (finalized) StreamState.
+  std::vector<std::shared_ptr<StreamState>> live;
+  {
+    std::lock_guard<std::mutex> lock(streams_mu_);
+    live.assign(live_streams_.begin(), live_streams_.end());
+  }
+  for (const auto& st : live) finalize_stream(st);
   drain();
   // Workers are done; detach the pool from the injector before it dies.
   if (pool_injector_.has_value()) admission_.set_fault_injection(nullptr, 0);
@@ -708,6 +726,29 @@ UpdateOutcome GraphSession::do_apply(const UpdateBatch& batch) {
       upd.delta_ms = delta_ms;
       if (sq.on_update) sq.on_update(upd);
       out.updates.push_back(std::move(upd));
+
+      if (sq.streamer != nullptr) {
+        Timer emb_timer;
+        stream::DeltaBatch db = sq.streamer->delta(from, applied.applied);
+        StandingQueryDelta sd;
+        sd.query_id = id;
+        sd.epoch = out.epoch;
+        sd.delta_ms = emb_timer.elapsed_ms();
+        // Embedding-level and count-level deltas are computed independently
+        // (enumeration vs. counting over the same anchored identity); they
+        // must agree exactly.
+        STM_CHECK_MSG(static_cast<std::int64_t>(db.added.size()) -
+                              static_cast<std::int64_t>(db.retracted.size()) ==
+                          d.delta,
+                      "standing query " << id << ": embedding delta "
+                                        << db.added.size() << " - "
+                                        << db.retracted.size()
+                                        << " disagrees with count delta "
+                                        << d.delta);
+        sd.added = std::move(db.added);
+        sd.retracted = std::move(db.retracted);
+        sq.on_delta(sd);
+      }
     }
     out.incremental_ms = inc_timer.elapsed_ms();
     incremental_latency_ms_.observe(out.incremental_ms);
@@ -742,6 +783,13 @@ std::uint64_t GraphSession::register_standing_query(StandingQueryConfig cfg) {
   sq.pattern = cfg.pattern;
   sq.matcher = std::move(matcher);
   sq.on_update = std::move(cfg.on_update);
+  if (cfg.on_delta) {
+    // The DeltaStreamer constructor enforces kEmbeddings count mode (and,
+    // via AnchoredEnumerator, edge-induced semantics).
+    sq.streamer =
+        std::make_shared<const stream::DeltaStreamer>(cfg.pattern, cfg.plan);
+    sq.on_delta = std::move(cfg.on_delta);
+  }
   sq.count = full.count;
   sq.epoch = snap->epoch();
   sq.full_ms = full_ms;

@@ -44,6 +44,7 @@
 
 #include "core/cancel.hpp"
 #include "core/config.hpp"
+#include "core/emit.hpp"
 #include "core/fault.hpp"
 #include "core/host_engine.hpp"
 #include "core/query_stats.hpp"
@@ -61,6 +62,16 @@
 #include "util/timer.hpp"
 
 namespace stm {
+
+namespace stream {
+class DeltaStreamer;
+}  // namespace stream
+
+// Streaming endpoints (service/stream.hpp).
+class EmbeddingStream;
+struct StreamRequest;
+struct TopKOptions;
+struct TopKResult;
 
 /// Which execution path serves the query. The order doubles as the
 /// degradation order: fallback moves strictly to the right.
@@ -129,6 +140,23 @@ struct StandingQueryUpdate {
   double delta_ms = 0.0;
 };
 
+/// Delivered to a standing query's on_delta subscriber once per applied
+/// batch: the exact embedding-level change the batch caused. Embeddings are
+/// in original-pattern vertex order, lexicographically sorted within each
+/// list; added and retracted are disjoint (an effective delta never both
+/// deletes and inserts the same edge).
+struct StandingQueryDelta {
+  std::uint64_t query_id = 0;
+  /// Epoch after the batch.
+  std::uint64_t epoch = 0;
+  /// Matches of the post-batch graph that did not exist before.
+  std::vector<Embedding> added;
+  /// Pre-batch matches destroyed by the batch.
+  std::vector<Embedding> retracted;
+  /// Wall time of this query's embedding-delta computation, ms.
+  double delta_ms = 0.0;
+};
+
 struct StandingQueryConfig {
   Pattern pattern;
   /// Count semantics (induced must be kEdge; see IncrementalMatcher).
@@ -138,6 +166,12 @@ struct StandingQueryConfig {
   /// Optional subscriber, invoked synchronously per applied batch from the
   /// update path (keep it cheap; it runs under the writer lock).
   std::function<void(const StandingQueryUpdate&)> on_update;
+  /// Optional embedding-level subscriber: the added/retracted embeddings of
+  /// each batch, not just the count delta. Requires count_mode ==
+  /// kEmbeddings (registration throws check_error otherwise — "a subgraph
+  /// was retracted" is ill-defined at embedding granularity). Invoked
+  /// synchronously from the update path, after on_update.
+  std::function<void(const StandingQueryDelta&)> on_delta;
 };
 
 struct StandingQueryInfo {
@@ -223,6 +257,11 @@ struct SessionConfig {
   FaultConfig update_fault;
   /// Sharded execution mode (off by default).
   ShardingConfig sharding;
+  /// Embedding streams open concurrently before open_stream sheds with
+  /// kOverloaded. Streams are long-lived (each holds a producer thread and
+  /// a pinned snapshot until closed), so they are admitted against this
+  /// bound rather than the dispatcher pool. 0 = uncapped.
+  std::size_t max_open_streams = 8;
 };
 
 class GraphSession {
@@ -269,6 +308,19 @@ class GraphSession {
   /// epoch). Serialized with updates.
   void compact();
 
+  /// Opens an embedding stream (service/stream.hpp): the query's matched
+  /// embeddings, delivered in the deterministic global order, pulled by the
+  /// caller. Never blocks: admission failure (max_open_streams), an invalid
+  /// resume token, or a plan-compilation error yield a handle whose stream
+  /// is already terminal with the corresponding status. Streams execute a
+  /// single attempt on the requested engine and bypass sharded execution.
+  std::unique_ptr<EmbeddingStream> open_stream(StreamRequest req);
+
+  /// Runs the query as a full embedding stream and keeps the k best
+  /// embeddings under opts.score (ties broken by stream order, so the
+  /// result is deterministic). Blocks until the enumeration completes.
+  TopKResult top_k(const QueryRequest& req, const TopKOptions& opts);
+
   /// Registers a pattern for per-batch count deltas. Runs one full
   /// enumeration on the current snapshot to establish the baseline count
   /// (and the full-cost reference of the speedup gauge). Throws check_error
@@ -293,11 +345,20 @@ class GraphSession {
   CircuitBreaker::State breaker_state(EngineKind kind);
 
  private:
+  friend class EmbeddingStream;
+
   struct QueryJob;
+  /// Everything one embedding stream owns (defined in stream.cpp). Shared
+  /// between the handle, the producer thread, and the session's live-stream
+  /// registry.
+  struct StreamState;
   struct StandingQuery {
     Pattern pattern;
     std::shared_ptr<const IncrementalMatcher> matcher;
     std::function<void(const StandingQueryUpdate&)> on_update;
+    /// Present iff on_delta is set: the embedding-level delta enumerator.
+    std::shared_ptr<const stream::DeltaStreamer> streamer;
+    std::function<void(const StandingQueryDelta&)> on_delta;
     std::uint64_t count = 0;
     std::uint64_t epoch = 0;
     std::uint64_t batches = 0;
@@ -331,6 +392,21 @@ class GraphSession {
   /// The update path proper (runs on a dispatcher worker).
   UpdateOutcome do_apply(const UpdateBatch& batch);
 
+  /// Producer-thread body of an embedding stream: runs the engine in
+  /// emission mode against the state's pinned snapshot, then finishes the
+  /// sequencer with the engine's terminal status.
+  void run_stream(const std::shared_ptr<StreamState>& st);
+  /// One-shot stream teardown (idempotent via the state's once-flag): joins
+  /// the producer, assembles the QueryResult, settles metrics and releases
+  /// the admission slot. Safe after the session is gone for states it
+  /// detached first.
+  static void finalize_stream(const std::shared_ptr<StreamState>& st);
+  /// Builds a handle whose stream is already terminal (admission rejection,
+  /// bad resume token, plan-compilation failure).
+  std::unique_ptr<EmbeddingStream> reject_stream(const StreamRequest& req,
+                                                 QueryStatus status,
+                                                 std::string error);
+
   MutableGraph dyn_;
   SessionConfig cfg_;
   PlanCache plan_cache_;
@@ -360,6 +436,12 @@ class GraphSession {
   std::mutex tokens_mu_;
   std::unordered_set<std::shared_ptr<CancelToken>> active_tokens_;
 
+  /// Open embedding streams (admission accounting + shutdown sweep: the
+  /// session destructor aborts and finalizes whatever is still open so
+  /// orphaned handles cannot touch a dead session).
+  std::mutex streams_mu_;
+  std::unordered_set<std::shared_ptr<StreamState>> live_streams_;
+
   // Cached metric handles (registry entries have stable addresses).
   Counter& queries_submitted_;
   Counter& queries_admitted_;
@@ -381,6 +463,7 @@ class GraphSession {
   Counter& edges_deleted_;
   Counter& sharded_queries_;
   Counter& shard_chunk_steals_;
+  Counter& stream_emitted_total_;
   Gauge& inflight_;
   Gauge& queue_depth_;
   Gauge& cache_hit_rate_;
@@ -389,10 +472,12 @@ class GraphSession {
   Gauge& standing_queries_;
   Gauge& shard_imbalance_;
   Gauge& cut_edge_fraction_;
+  Gauge& open_streams_;
   Histogram& latency_ms_;
   Histogram& queue_wait_ms_;
   Histogram& update_latency_ms_;
   Histogram& incremental_latency_ms_;
+  Histogram& stream_backpressure_ms_;
 
   // One breaker per engine kind, guarded by breakers_mu_ (engine calls run
   // outside the lock; only the state transitions are serialized). The

@@ -1,0 +1,568 @@
+#include "service/stream.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <queue>
+#include <sstream>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/host_engine.hpp"
+#include "core/recursive.hpp"
+#include "pattern/matching_order.hpp"
+#include "stream/emit.hpp"
+#include "stream/sequencer.hpp"
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace stm {
+
+namespace {
+
+/// Identifies the (pattern, plan options) a resume token was issued for.
+/// FNV-1a over the canonical pattern string plus the option bytes — stable
+/// across sessions, engine-independent (the stream order is too).
+std::uint64_t stream_fingerprint(const QueryRequest& req) {
+  std::uint64_t h = 14695981039346656037ULL;
+  const auto mix = [&h](unsigned char c) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  };
+  for (const char c : req.pattern.to_string()) {
+    mix(static_cast<unsigned char>(c));
+  }
+  mix(static_cast<unsigned char>(req.plan.induced));
+  mix(static_cast<unsigned char>(req.plan.count_mode));
+  // code_motion changes neither the matching order nor the DFS order, so it
+  // is deliberately absent: a stream may resume under the other setting.
+  return h;
+}
+
+/// Token layout: "stm1.<epoch>.<fingerprint hex>.<v0>.<skip>.<total>" — the
+/// stream position "after `skip` embeddings of outer vertex v0, with `total`
+/// embeddings delivered on earlier pages".
+std::string encode_resume(std::uint64_t epoch, std::uint64_t fp, VertexId v0,
+                          std::uint64_t skip, std::uint64_t total) {
+  std::ostringstream os;
+  os << "stm1." << epoch << '.' << std::hex << fp << std::dec << '.' << v0
+     << '.' << skip << '.' << total;
+  return os.str();
+}
+
+bool parse_u64(const std::string& s, int base, std::uint64_t* out) {
+  if (s.empty()) return false;
+  std::uint64_t value = 0;
+  for (const char c : s) {
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (base == 16 && c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else {
+      return false;
+    }
+    value = value * static_cast<std::uint64_t>(base) +
+            static_cast<std::uint64_t>(digit);
+  }
+  *out = value;
+  return true;
+}
+
+bool decode_resume(const std::string& token, std::uint64_t epoch,
+                   std::uint64_t fp, VertexId* v0, std::uint64_t* skip,
+                   std::uint64_t* total, std::string* error) {
+  std::vector<std::string> fields;
+  std::string cur;
+  for (const char c : token) {
+    if (c == '.') {
+      fields.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  fields.push_back(cur);
+
+  std::uint64_t tok_epoch = 0, tok_fp = 0, tok_v0 = 0;
+  if (fields.size() != 6 || fields[0] != "stm1" ||
+      !parse_u64(fields[1], 10, &tok_epoch) ||
+      !parse_u64(fields[2], 16, &tok_fp) ||
+      !parse_u64(fields[3], 10, &tok_v0) || !parse_u64(fields[4], 10, skip) ||
+      !parse_u64(fields[5], 10, total)) {
+    *error = "malformed resume token";
+    return false;
+  }
+  if (tok_fp != fp) {
+    *error = "resume token was issued for a different pattern or plan options";
+    return false;
+  }
+  if (tok_epoch != epoch) {
+    std::ostringstream os;
+    os << "resume token is for graph epoch " << tok_epoch
+       << " but the session is at epoch " << epoch
+       << " (the stream order is only defined within one epoch)";
+    *error = os.str();
+    return false;
+  }
+  *v0 = static_cast<VertexId>(tok_v0);
+  return true;
+}
+
+/// The stream's reference lane: the sequential recursive executor, one
+/// bucket per outer-loop vertex, posted in order. Shares the plan (hence
+/// the order) with the optimized engines but none of their scheduling — the
+/// oracle compares the engines' drained streams against this one.
+QueryStatus run_reference_stream(GraphView g, const MatchingPlan& plan,
+                                 VertexId start, const CancelToken& token,
+                                 stream::EmitPipeline& pipe,
+                                 QueryStats* stats) {
+  const VertexId n = g.num_vertices();
+  const VertexId begin = std::min(start, n);
+  pipe.begin(n - begin);
+  RecursiveCounters counters;
+  Timer engine_timer;
+  std::vector<Embedding> staged;
+  for (VertexId v0 = begin; v0 < n; ++v0) {
+    staged.clear();
+    recursive_enumerate_range(
+        g, plan, v0, v0 + 1,
+        [&staged](const std::vector<VertexId>& m) {
+          staged.push_back(m);
+          return true;
+        },
+        &counters, &token);
+    // A fired token may have cut the bucket short; an incomplete bucket is
+    // never posted (the stream ends at the previous, complete one).
+    if (token.expired()) break;
+    if (!pipe.post(v0 - begin, std::move(staged))) break;
+    staged = {};
+  }
+  stats->engine_ms = engine_timer.elapsed_ms();
+  stats->scalar_ops = counters.scalar_ops;
+  stats->sets_built = counters.sets_built;
+  return token.expired() ? token.status() : QueryStatus::kOk;
+}
+
+}  // namespace
+
+struct GraphSession::StreamState {
+  StreamState(stream::SequencerConfig seq_cfg, const CancelToken* tok)
+      : seq(seq_cfg, tok) {}
+
+  GraphSession* session = nullptr;  // null for rejected (pre-terminal) streams
+  QueryRequest req;
+  StreamOptions opts;
+  std::shared_ptr<CancelToken> token;
+  std::shared_ptr<const GraphSnapshot> snap;
+  std::shared_ptr<const MatchingPlan> plan;
+  /// matching_order(pattern): original vertex at plan position i.
+  std::vector<std::size_t> order;
+  bool plan_cache_hit = false;
+  std::uint64_t fingerprint = 0;
+
+  VertexId start_v0 = 0;
+  std::uint64_t resumed_total = 0;  // delivered on earlier pages
+
+  stream::OutputSequencer seq;
+  std::unique_ptr<stream::EmitPipeline> pipe;
+  std::thread producer;
+
+  /// Producer-side engine statistics; written before seq.finish(), read by
+  /// the finalizer after joining the producer (mu spans the detach).
+  std::mutex mu;
+  QueryStats engine_stats;
+
+  // Consumer-thread state. The handle is single-consumer; the finalizer is
+  // serialized behind the once-flag and joins the producer first.
+  std::uint64_t skip_left = 0;
+  std::uint64_t delivered = 0;
+  VertexId cursor_v0 = 0;         // outer vertex of the stream position
+  std::uint64_t cursor_skip = 0;  // embeddings delivered at cursor_v0
+  bool limit_reached = false;
+  bool drained = false;  // consumer observed end-of-stream
+  std::atomic<bool> cancel_requested{false};
+  Timer since_open;
+  std::once_flag finalize_once;
+  std::atomic<bool> finalized{false};
+  QueryResult result;
+};
+
+std::unique_ptr<EmbeddingStream> GraphSession::reject_stream(
+    const StreamRequest& req, QueryStatus status, std::string error) {
+  (status == QueryStatus::kOverloaded ? queries_rejected_ : queries_failed_)
+      .inc();
+  auto token = std::make_shared<CancelToken>();
+  auto st = std::make_shared<StreamState>(stream::SequencerConfig{},
+                                          token.get());
+  st->token = std::move(token);
+  st->req.engine = req.query.engine;
+  st->seq.abort(status, error);
+  QueryResult r;
+  r.status = r.stats.status = status;
+  r.served_by = req.query.engine;
+  r.attempts = 0;
+  r.error = std::move(error);
+  st->result = std::move(r);
+  st->finalized.store(true, std::memory_order_release);
+  std::call_once(st->finalize_once, [] {});  // later finalize() is a no-op
+  return std::unique_ptr<EmbeddingStream>(new EmbeddingStream(std::move(st)));
+}
+
+std::unique_ptr<EmbeddingStream> GraphSession::open_stream(StreamRequest req) {
+  queries_submitted_.inc();
+
+  const EngineConfig& sc = req.query.simt;
+  if (req.query.host.v_begin != 0 || sc.v_begin != 0 || sc.v_end != 0 ||
+      sc.v_stride != 1 || sc.pin_v1 != kNoVertex) {
+    return reject_stream(
+        req, QueryStatus::kInvalidArgument,
+        "stream requests must leave the engine outer-loop range knobs "
+        "(host.v_begin, simt.v_begin/v_end/v_stride/pin_v1) at their "
+        "defaults; the stream cursor owns them");
+  }
+
+  const std::shared_ptr<const GraphSnapshot> snap = dyn_.snapshot();
+  const std::uint64_t fp = stream_fingerprint(req.query);
+
+  VertexId start_v0 = 0;
+  std::uint64_t skip = 0;
+  std::uint64_t resumed_total = 0;
+  if (!req.stream.resume_token.empty()) {
+    std::string err;
+    if (!decode_resume(req.stream.resume_token, snap->epoch(), fp, &start_v0,
+                       &skip, &resumed_total, &err)) {
+      return reject_stream(req, QueryStatus::kInvalidArgument, std::move(err));
+    }
+  }
+
+  bool cache_hit = false;
+  std::shared_ptr<const MatchingPlan> plan;
+  try {
+    plan = plan_cache_.get_or_compile(req.query.pattern, req.query.plan,
+                                      snap->epoch(), &cache_hit);
+  } catch (const check_error& e) {
+    return reject_stream(req, QueryStatus::kInvalidArgument, e.what());
+  }
+
+  auto token = std::make_shared<CancelToken>();
+  double deadline = req.query.deadline_ms;
+  if (deadline == 0.0) deadline = cfg_.default_deadline_ms;
+  if (deadline > 0.0) token->set_deadline_ms(deadline);
+
+  stream::SequencerConfig seq_cfg;
+  seq_cfg.max_buffered = std::max<std::size_t>(1, req.stream.max_buffered);
+  auto st = std::make_shared<StreamState>(seq_cfg, token.get());
+  st->session = this;
+  st->req = std::move(req.query);
+  st->opts = std::move(req.stream);
+  st->token = std::move(token);
+  st->snap = snap;
+  st->plan = std::move(plan);
+  st->plan_cache_hit = cache_hit;
+  st->fingerprint = fp;
+  st->order = matching_order(st->req.pattern);
+  st->start_v0 = start_v0;
+  st->skip_left = skip;
+  st->cursor_v0 = start_v0;
+  st->cursor_skip = skip;
+  st->resumed_total = resumed_total;
+  st->pipe = std::make_unique<stream::EmitPipeline>(st->seq, st->order,
+                                                    st->opts.emit_fault);
+
+  {
+    std::lock_guard<std::mutex> lock(streams_mu_);
+    if (cfg_.max_open_streams > 0 &&
+        live_streams_.size() >= cfg_.max_open_streams) {
+      StreamRequest rejected;
+      rejected.query.engine = st->req.engine;
+      return reject_stream(
+          rejected, QueryStatus::kOverloaded,
+          "stream admission rejected: " + std::to_string(live_streams_.size()) +
+              " of " + std::to_string(cfg_.max_open_streams) +
+              " stream slots are open");
+    }
+    live_streams_.insert(st);
+    open_streams_.set(static_cast<double>(live_streams_.size()));
+  }
+  {
+    std::lock_guard<std::mutex> lock(tokens_mu_);
+    active_tokens_.insert(st->token);
+  }
+  queries_admitted_.inc();
+
+  st->producer = std::thread([this, st] { run_stream(st); });
+  return std::unique_ptr<EmbeddingStream>(new EmbeddingStream(std::move(st)));
+}
+
+void GraphSession::run_stream(const std::shared_ptr<StreamState>& st) {
+  QueryStats stats;
+  QueryStatus status = QueryStatus::kOk;
+  std::string error;
+  try {
+    const GraphView g = st->snap->view();
+    switch (st->req.engine) {
+      case EngineKind::kHost: {
+        HostEngineConfig host = st->req.host;
+        if (host.num_threads == 0) {
+          host.num_threads =
+              std::max<std::size_t>(1, cfg_.host_threads_per_query);
+        }
+        host.v_begin = st->start_v0;
+        const HostMatchResult r =
+            host_match(g, *st->plan, host, st->token.get(), st->pipe.get());
+        stats = r.stats;
+        status = r.stats.status;
+        break;
+      }
+      case EngineKind::kSimt: {
+        EngineConfig simt = st->req.simt;
+        simt.v_begin = st->start_v0;
+        const MatchResult r = stmatch_match(g, *st->plan, simt,
+                                            st->token.get(), st->pipe.get());
+        stats = r.query;
+        status = r.query.status;
+        break;
+      }
+      case EngineKind::kReference: {
+        status = run_reference_stream(g, *st->plan, st->start_v0, *st->token,
+                                      *st->pipe, &stats);
+        break;
+      }
+    }
+  } catch (const check_error& e) {
+    status = QueryStatus::kInvalidArgument;
+    error = e.what();
+  } catch (const std::exception& e) {
+    status = QueryStatus::kInternalError;
+    error = std::string("stream engine ") + to_string(st->req.engine) +
+            " threw: " + e.what();
+  } catch (...) {
+    status = QueryStatus::kInternalError;
+    error = std::string("stream engine ") + to_string(st->req.engine) +
+            " threw a non-standard exception";
+  }
+  if (st->pipe->failed()) {
+    // kEmitDrop budget exhausted: the pipeline already aborted the sequencer
+    // with kInternalError; mirror it in the engine-side outcome.
+    status = QueryStatus::kInternalError;
+    error = st->pipe->error();
+  }
+  stats.status = status;
+  {
+    std::lock_guard<std::mutex> lock(st->mu);
+    st->engine_stats = stats;
+  }
+  st->seq.finish(status, std::move(error));
+}
+
+void GraphSession::finalize_stream(const std::shared_ptr<StreamState>& st) {
+  std::call_once(st->finalize_once, [&st] {
+    // Stop the producer side (no-ops when the stream already ended) and wait
+    // for it: engine_stats and the sequencer's terminal state settle here.
+    if (!st->drained) {
+      // Closed early: stop the engine and unblock producers parked on
+      // backpressure. A drained stream must do neither — the producer may
+      // not have recorded its terminal status yet (every bucket is posted,
+      // but the engine can still be tearing down and would observe the
+      // cancel), and the sequencer keeps the first status it is given.
+      st->token->cancel();
+      st->seq.abort(QueryStatus::kCancelled,
+                    "stream closed before end of stream (the delivered "
+                    "embeddings are a valid prefix)");
+    }
+    if (st->producer.joinable()) st->producer.join();
+
+    QueryResult r;
+    if (st->limit_reached) {
+      // The page is complete; the engine's cooperative stop is not an error.
+      r.status = QueryStatus::kOk;
+    } else if (st->cancel_requested.load(std::memory_order_acquire)) {
+      r.status = QueryStatus::kCancelled;
+    } else if (st->drained) {
+      r.status = st->seq.final_status();
+      r.error = st->seq.final_error();
+    } else {
+      r.status = QueryStatus::kCancelled;
+      r.error = st->seq.final_error();
+    }
+    {
+      std::lock_guard<std::mutex> lock(st->mu);
+      r.stats = st->engine_stats;
+    }
+    r.stats.status = r.status;
+    if (st->pipe != nullptr) {
+      r.stats.faults_injected += st->pipe->faults_injected();
+    }
+    r.count = st->delivered;
+    r.served_by = st->req.engine;
+    r.attempts = 1;
+    r.plan_cache_hit = st->plan_cache_hit;
+    r.graph_epoch = st->snap != nullptr ? st->snap->epoch() : 0;
+    r.total_ms = st->since_open.elapsed_ms();
+    if (!r.ok() && r.error.empty()) {
+      // Every non-kOk stream result carries a detail string — including a
+      // stream cancelled between admission and its first emission, whose
+      // sequencer never saw a terminal message.
+      switch (r.status) {
+        case QueryStatus::kDeadlineExceeded: {
+          double budget = st->req.deadline_ms;
+          if (budget == 0.0 && st->session != nullptr) {
+            budget = st->session->cfg_.default_deadline_ms;
+          }
+          r.error = "deadline of " + std::to_string(budget) +
+                    " ms exhausted (the delivered embeddings are a valid "
+                    "prefix of the stream)";
+          break;
+        }
+        case QueryStatus::kCancelled:
+          r.error =
+              "stream cancelled (the delivered embeddings are a valid "
+              "prefix of the stream)";
+          break;
+        case QueryStatus::kInternalError:
+          r.error = "stream execution failed; the delivered embeddings are "
+                    "a valid prefix of the stream";
+          break;
+        default:
+          r.error = std::string("stream failed: ") + to_string(r.status);
+          break;
+      }
+    }
+    st->result = std::move(r);
+    st->finalized.store(true, std::memory_order_release);
+
+    GraphSession* s = st->session;
+    if (s != nullptr) {
+      s->stream_emitted_total_.inc(st->pipe->emitted());
+      s->stream_backpressure_ms_.observe(st->seq.stall_ms());
+      s->faults_injected_total_.inc(st->result.stats.faults_injected);
+      s->recovery_units_total_.inc(st->result.stats.units_recovered);
+      (st->result.ok() ? s->queries_completed_ : s->queries_failed_).inc();
+      {
+        std::lock_guard<std::mutex> lock(s->tokens_mu_);
+        s->active_tokens_.erase(st->token);
+      }
+      {
+        std::lock_guard<std::mutex> lock(s->streams_mu_);
+        s->live_streams_.erase(st);
+        s->open_streams_.set(static_cast<double>(s->live_streams_.size()));
+      }
+    }
+  });
+}
+
+EmbeddingStream::EmbeddingStream(
+    std::shared_ptr<GraphSession::StreamState> st)
+    : st_(std::move(st)) {}
+
+EmbeddingStream::~EmbeddingStream() { finalize(); }
+
+void EmbeddingStream::finalize() { GraphSession::finalize_stream(st_); }
+
+bool EmbeddingStream::next(Embedding* out) {
+  GraphSession::StreamState& st = *st_;
+  if (st.finalized.load(std::memory_order_acquire) || st.limit_reached) {
+    return false;
+  }
+  Embedding e;
+  for (;;) {
+    if (!st.seq.next(&e)) {
+      st.drained = true;
+      finalize();
+      return false;
+    }
+    if (st.skip_left > 0) {
+      // Resumed page: the engine restarted at the cursor's outer vertex;
+      // discard the embeddings the previous page already delivered for it.
+      --st.skip_left;
+      continue;
+    }
+    break;
+  }
+  ++st.delivered;
+  const std::size_t pos0 = st.order.empty() ? 0 : st.order[0];
+  const VertexId v0 = e[pos0];
+  if (v0 == st.cursor_v0) {
+    ++st.cursor_skip;
+  } else {
+    st.cursor_v0 = v0;
+    st.cursor_skip = 1;
+  }
+  if (st.opts.limit > 0 && st.delivered >= st.opts.limit) {
+    st.limit_reached = true;
+    st.token->cancel();
+    st.seq.abort(QueryStatus::kOk, std::string());
+  }
+  *out = std::move(e);
+  return true;
+}
+
+const QueryResult& EmbeddingStream::result() {
+  finalize();
+  return st_->result;
+}
+
+std::string EmbeddingStream::resume_token() const {
+  const GraphSession::StreamState& st = *st_;
+  if (st.snap == nullptr) return std::string();  // rejected stream
+  if (st.finalized.load(std::memory_order_acquire) && st.result.ok() &&
+      !st.limit_reached) {
+    return std::string();  // exhausted: there is nothing to resume to
+  }
+  return encode_resume(st.snap->epoch(), st.fingerprint, st.cursor_v0,
+                       st.cursor_skip, st.resumed_total + st.delivered);
+}
+
+void EmbeddingStream::cancel() {
+  st_->cancel_requested.store(true, std::memory_order_release);
+  st_->token->cancel();
+  st_->seq.abort(QueryStatus::kCancelled, "stream cancelled by caller");
+}
+
+std::uint64_t EmbeddingStream::delivered() const { return st_->delivered; }
+
+TopKResult GraphSession::top_k(const QueryRequest& req,
+                               const TopKOptions& opts) {
+  STM_CHECK_MSG(opts.k >= 1, "top_k requires k >= 1");
+  STM_CHECK_MSG(static_cast<bool>(opts.score), "top_k requires a scorer");
+
+  StreamRequest sreq;
+  sreq.query = req;
+  sreq.stream = opts.stream;
+  sreq.stream.limit = 0;  // top-k must see every embedding
+  sreq.stream.resume_token.clear();
+  const std::unique_ptr<EmbeddingStream> s = open_stream(std::move(sreq));
+
+  // Min-heap of size k ordered worst-first under (score desc, rank asc):
+  // the top is the current k-th best, evicted when something better lands.
+  const auto better = [](const ScoredEmbedding& a, const ScoredEmbedding& b) {
+    return a.score > b.score || (a.score == b.score && a.rank < b.rank);
+  };
+  std::priority_queue<ScoredEmbedding, std::vector<ScoredEmbedding>,
+                      decltype(better)>
+      heap(better);
+  Embedding e;
+  std::uint64_t rank = 0;
+  while (s->next(&e)) {
+    ScoredEmbedding se;
+    se.score = opts.score(e);
+    se.rank = rank++;
+    se.embedding = std::move(e);
+    heap.push(std::move(se));
+    if (heap.size() > opts.k) heap.pop();
+  }
+
+  TopKResult out;
+  out.result = s->result();
+  out.top.resize(heap.size());
+  for (std::size_t i = heap.size(); i-- > 0;) {
+    out.top[i] = heap.top();
+    heap.pop();
+  }
+  return out;
+}
+
+}  // namespace stm

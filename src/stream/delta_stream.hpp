@@ -1,0 +1,59 @@
+// DeltaStreamer: per-batch embedding deltas for standing queries.
+//
+// Where IncrementalMatcher::count_delta reports only the *change in count*
+// caused by an update batch, DeltaStreamer reports the actual embeddings:
+// `added` (matches of the post-batch graph that did not exist before) and
+// `retracted` (pre-batch matches destroyed by the batch). It rides the same
+// prefix inclusion–exclusion identity over anchored enumeration: walking the
+// inserted edges d_1..d_m over overlays G_common + {d_1..d_i}, the matches
+// containing d_i are exactly the new matches whose largest-index inserted
+// edge is d_i — so each added embedding is enumerated exactly once, and
+// symmetrically for the deleted edges. Deltas are therefore exact and
+// disjoint (an effective delta never both deletes and inserts the same
+// edge, so added and retracted cannot intersect).
+//
+// Embeddings are in original-pattern vertex order, lexicographically sorted
+// within each list — a deterministic order independent of anchor iteration.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/emit.hpp"
+#include "dynamic/dynamic_graph.hpp"
+#include "dynamic/incremental.hpp"
+#include "pattern/pattern.hpp"
+#include "pattern/plan.hpp"
+
+namespace stm::stream {
+
+struct DeltaBatch {
+  /// Embeddings present after the batch but not before (lex-sorted).
+  std::vector<Embedding> added;
+  /// Embeddings present before the batch but not after (lex-sorted).
+  std::vector<Embedding> retracted;
+  /// Anchored enumerations issued.
+  std::uint64_t anchored_runs = 0;
+};
+
+class DeltaStreamer {
+ public:
+  /// Throws check_error unless plan.count_mode == kEmbeddings (a subgraph
+  /// can have several embeddings; retraction of "a subgraph" is ill-defined
+  /// at the embedding granularity the stream delivers) and plan.induced ==
+  /// kEdge (inherited from anchored enumeration).
+  DeltaStreamer(const Pattern& pattern, const PlanOptions& plan);
+
+  /// The embedding delta caused by applying `applied` to version `from`
+  /// (arguments as for IncrementalMatcher::count_delta).
+  DeltaBatch delta(const std::shared_ptr<const GraphSnapshot>& from,
+                   const DeltaEdges& applied) const;
+
+  const Pattern& pattern() const { return enumerator_.pattern(); }
+
+ private:
+  AnchoredEnumerator enumerator_;
+};
+
+}  // namespace stm::stream

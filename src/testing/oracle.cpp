@@ -5,6 +5,8 @@
 #include <sstream>
 #include <string_view>
 
+#include <algorithm>
+
 #include "baselines/reference.hpp"
 #include "core/engine.hpp"
 #include "core/host_engine.hpp"
@@ -13,6 +15,8 @@
 #include "dynamic/dynamic_graph.hpp"
 #include "dynamic/incremental.hpp"
 #include "pattern/matching_order.hpp"
+#include "service/service.hpp"
+#include "service/stream.hpp"
 #include "util/check.hpp"
 
 namespace stm::harness {
@@ -31,6 +35,8 @@ const char* to_string(EngineKind kind) {
       return "incremental";
     case EngineKind::kSharded:
       return "sharded";
+    case EngineKind::kStream:
+      return "stream";
   }
   return "unknown";
 }
@@ -70,6 +76,144 @@ std::uint64_t incremental_replay(const TestCase& c) {
   STM_CHECK_MSG(d.delta >= 0, "replay over an empty base produced a negative"
                               " delta of " << d.delta);
   return static_cast<std::uint64_t>(d.delta);
+}
+
+/// Streamed-embedding lane: for each stream engine the service's drained
+/// embedding sequence must be bit-identical (the global order is a pure
+/// function of the plan), the multiset must equal the brute-force reference
+/// enumeration, and a paged host cursor must concatenate to the full stream
+/// with no duplicate or loss. Failures append notes and flip `agreed`.
+void run_stream_lane(const TestCase& c, OracleReport* report) {
+  using ServiceEngine = ::stm::EngineKind;
+
+  SessionConfig scfg;
+  scfg.max_open_streams = 0;  // the lane opens its streams one at a time
+  GraphSession session(Graph(c.graph), scfg);
+
+  const auto base_req = [&c](ServiceEngine kind) {
+    QueryRequest q;
+    q.pattern = c.pattern;
+    q.plan = c.plan;
+    q.engine = kind;
+    q.host = c.host;
+    q.simt = c.simt;
+    // The stream owns the outer-loop range knobs; chaos is its own suite.
+    q.host.v_begin = 0;
+    q.host.fault = FaultConfig{};
+    q.simt.v_begin = 0;
+    q.simt.v_end = 0;
+    q.simt.v_stride = 1;
+    q.simt.pin_v1 = kNoVertex;
+    q.simt.fault = FaultConfig{};
+    return q;
+  };
+  const auto fail = [report](std::string note) {
+    report->agreed = false;
+    report->notes.push_back(std::move(note));
+  };
+
+  const ServiceEngine kinds[] = {ServiceEngine::kReference,
+                                 ServiceEngine::kHost, ServiceEngine::kSimt};
+  std::vector<std::vector<Embedding>> streams;
+  for (const ServiceEngine kind : kinds) {
+    StreamRequest sreq;
+    sreq.query = base_req(kind);
+    auto s = session.open_stream(std::move(sreq));
+    std::vector<Embedding> drained;
+    Embedding e;
+    while (s->next(&e)) drained.push_back(std::move(e));
+    const QueryResult& r = s->result();
+    if (!r.ok()) {
+      fail(std::string("stream lane: ") + ::stm::to_string(kind) +
+           " stream failed: " + r.error);
+      return;
+    }
+    streams.push_back(std::move(drained));
+  }
+
+  report->counts.push_back(
+      {EngineKind::kStream, static_cast<std::uint64_t>(streams[0].size())});
+
+  for (std::size_t k = 1; k < streams.size(); ++k) {
+    if (streams[k] == streams[0]) continue;
+    std::size_t at = 0;
+    while (at < streams[0].size() && at < streams[k].size() &&
+           streams[0][at] == streams[k][at])
+      ++at;
+    std::ostringstream os;
+    os << "stream lane: " << ::stm::to_string(kinds[k])
+       << " stream diverges from reference stream at position " << at
+       << " (lengths " << streams[k].size() << " vs " << streams[0].size()
+       << ")";
+    fail(os.str());
+    return;
+  }
+
+  // Multiset check against the brute-force enumerator (which shares no
+  // candidate-set machinery with the streams). Only kEmbeddings: under
+  // kUniqueSubgraphs the stream carries symmetry-broken representatives,
+  // which the reference does not define in the same vertex order.
+  if (c.plan.count_mode == CountMode::kEmbeddings) {
+    const std::vector<std::size_t> order = matching_order(c.pattern);
+    std::vector<Embedding> ref;
+    std::vector<VertexId> orig(c.pattern.size());
+    reference_enumerate(GraphView(c.graph), c.pattern,
+                        {c.plan.induced, c.plan.count_mode},
+                        [&](const std::vector<VertexId>& m) {
+                          for (std::size_t i = 0; i < order.size(); ++i)
+                            orig[order[i]] = m[i];
+                          ref.push_back(orig);
+                        });
+    std::vector<Embedding> got = streams[0];
+    std::sort(ref.begin(), ref.end());
+    std::sort(got.begin(), got.end());
+    if (got != ref) {
+      std::ostringstream os;
+      os << "stream lane: streamed multiset (" << got.size()
+         << " embeddings) differs from the reference enumeration ("
+         << ref.size() << ")";
+      fail(os.str());
+      return;
+    }
+  }
+
+  // Cursor lane: drain the host stream again in pages; token resumption
+  // must concatenate to the full stream, no duplicate, no loss.
+  const std::uint64_t total = streams[0].size();
+  const std::uint64_t page = std::max<std::uint64_t>(1, (total + 2) / 3);
+  std::vector<Embedding> paged;
+  std::string token;
+  for (;;) {
+    StreamRequest sreq;
+    sreq.query = base_req(ServiceEngine::kHost);
+    sreq.stream.limit = page;
+    sreq.stream.resume_token = token;
+    auto s = session.open_stream(std::move(sreq));
+    Embedding e;
+    std::uint64_t got = 0;
+    while (s->next(&e)) {
+      paged.push_back(std::move(e));
+      ++got;
+    }
+    const QueryResult& r = s->result();
+    if (!r.ok()) {
+      fail("stream lane: cursor page failed: " + r.error);
+      return;
+    }
+    token = s->resume_token();
+    if (token.empty()) break;
+    if (got == 0 || paged.size() > total) {
+      fail("stream lane: cursor failed to make progress (delivered " +
+           std::to_string(paged.size()) + " of " + std::to_string(total) +
+           " with a non-empty resume token)");
+      return;
+    }
+  }
+  if (paged != streams[0]) {
+    fail("stream lane: cursor pages concatenate to " +
+         std::to_string(paged.size()) + " embeddings, full stream has " +
+         std::to_string(streams[0].size()));
+  }
 }
 
 }  // namespace
@@ -140,6 +284,16 @@ OracleReport run_oracle(const TestCase& c, const OracleOptions& opts) {
     report.skipped.push_back(EngineKind::kSharded);
   }
 
+  // Stream lane: drains full embedding streams through the service layer,
+  // so it materializes every match several times over — bounded by the
+  // expected count, which is already known at this point.
+  if (opts.run_stream && c.graph.num_vertices() > 0 &&
+      report.expected <= opts.stream_max_matches) {
+    run_stream_lane(c, &report);
+  } else {
+    report.skipped.push_back(EngineKind::kStream);
+  }
+
   for (const EngineCount& e : report.counts)
     if (e.count != report.expected) report.agreed = false;
   return report;
@@ -155,6 +309,7 @@ std::string OracleReport::describe() const {
        << (e.count == expected ? "" : "   <-- MISMATCH") << "\n";
   }
   for (const EngineKind k : skipped) os << "  " << to_string(k) << " skipped\n";
+  for (const std::string& n : notes) os << "  note: " << n << "\n";
   return os.str();
 }
 

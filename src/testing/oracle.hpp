@@ -29,8 +29,9 @@ enum class EngineKind : std::uint8_t {
   kSimt,           // simulated-GPU stack engine
   kIncremental,    // IncrementalMatcher replaying the graph as one batch
   kSharded,        // cross-shard coordinator over the case's sampled partition
+  kStream,         // drained embedding streams (service layer, all engines)
 };
-inline constexpr std::size_t kNumEngineKinds = 6;
+inline constexpr std::size_t kNumEngineKinds = 7;
 
 const char* to_string(EngineKind kind);
 
@@ -46,6 +47,14 @@ struct OracleOptions {
   /// Same bound for the sharded lane (its cut-edge term is anchored work of
   /// the same shape).
   EdgeId sharded_max_edges = 300;
+  /// Streamed-embedding lane: every engine's drained stream must be
+  /// bit-identical (order included), the multiset must equal the reference
+  /// enumeration, and a paged cursor must concatenate to the full stream
+  /// with no duplicate or loss.
+  bool run_stream = true;
+  /// Skip the stream lane past this many expected matches (it materializes
+  /// every embedding several times over).
+  std::uint64_t stream_max_matches = 200000;
 };
 
 struct EngineCount {
@@ -61,6 +70,9 @@ struct OracleReport {
   /// Executors skipped because the case violates their preconditions.
   std::vector<EngineKind> skipped;
   bool agreed = true;
+  /// Human-readable detail on non-count disagreements (stream order /
+  /// multiset / cursor failures); empty when everything agreed.
+  std::vector<std::string> notes;
 
   /// Multi-line human-readable summary (per-engine counts, mismatches).
   std::string describe() const;
