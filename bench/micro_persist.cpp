@@ -1,0 +1,156 @@
+// Micro-benchmarks of the durability subsystem: apply-path throughput with
+// the WAL off / on (buffered) / on (fsync), checkpoint install cost, and
+// recovery replay speed. The WAL-off vs. WAL-on buffered gap is the
+// write-ahead overhead itself (encode + crc + write); fsync adds the
+// device's flush latency per batch. Baselines recorded in EXPERIMENTS.md.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <utility>
+
+#include "dynamic/dynamic_graph.hpp"
+#include "graph/generators.hpp"
+#include "persist/wal.hpp"
+#include "service/service.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace stm;
+
+namespace fs = std::filesystem;
+
+std::string scratch_dir() {
+  static std::atomic<std::uint64_t> counter{0};
+  const fs::path p =
+      fs::temp_directory_path() /
+      ("stmatch-micro-persist-" + std::to_string(counter.fetch_add(1)));
+  fs::remove_all(p);
+  fs::create_directories(p);
+  return p.string();
+}
+
+const Graph& bench_base() {
+  static const Graph g = make_barabasi_albert(2000, 6, 77);
+  return g;
+}
+
+UpdateBatch random_batch(const GraphSnapshot& snap, Rng& rng, int num_edges) {
+  const VertexId n = snap.num_vertices();
+  UpdateBatch batch;
+  for (int i = 0; i < num_edges; ++i) {
+    const auto u = static_cast<VertexId>(rng() % n);
+    const auto v = static_cast<VertexId>(rng() % n);
+    if (u == v) continue;
+    if (snap.has_edge(u, v)) {
+      batch.deletions.emplace_back(u, v);
+    } else {
+      batch.insertions.emplace_back(u, v);
+    }
+  }
+  return batch;
+}
+
+/// Apply throughput: state.range(0) = edges per batch, range(1) selects
+/// 0 = no persistence, 1 = WAL buffered, 2 = WAL + fsync.
+void BM_ApplyWithWal(benchmark::State& state) {
+  const int batch_edges = static_cast<int>(state.range(0));
+  const int mode = static_cast<int>(state.range(1));
+  SessionConfig cfg;
+  std::string dir;
+  if (mode > 0) {
+    dir = scratch_dir();
+    cfg.persistence.dir = dir;
+    cfg.persistence.fsync = mode == 2;
+  }
+  GraphSession session(bench_base(), cfg);
+  Rng rng(7);
+  for (auto _ : state) {
+    state.PauseTiming();
+    UpdateBatch batch =
+        random_batch(*session.snapshot(), rng, batch_edges);
+    state.ResumeTiming();
+    const UpdateOutcome out = session.apply_updates(std::move(batch));
+    benchmark::DoNotOptimize(out.epoch);
+  }
+  if (mode > 0) {
+    state.counters["wal_bytes"] = static_cast<double>(
+        session.metrics().counter("wal_appended_bytes_total").value());
+  }
+  state.SetLabel(mode == 0 ? "wal_off" : (mode == 1 ? "wal_buffered"
+                                                    : "wal_fsync"));
+  if (!dir.empty()) fs::remove_all(dir);
+}
+BENCHMARK(BM_ApplyWithWal)
+    ->ArgsProduct({{10, 100}, {0, 1, 2}})
+    ->Unit(benchmark::kMicrosecond);
+
+/// Checkpoint install: compacted-CSR serialization + crc + atomic rename.
+void BM_Checkpoint(benchmark::State& state) {
+  const std::string dir = scratch_dir();
+  SessionConfig cfg;
+  cfg.persistence.dir = dir;
+  cfg.persistence.fsync = false;
+  GraphSession session(bench_base(), cfg);
+  Rng rng(7);
+  for (auto _ : state) {
+    state.PauseTiming();
+    session.apply_updates(random_batch(*session.snapshot(), rng, 50));
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(session.checkpoint());
+  }
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_Checkpoint)->Unit(benchmark::kMillisecond);
+
+/// Recovery: construction cost against a directory holding range(0)
+/// WAL batches past the checkpoint.
+void BM_RecoveryReplay(benchmark::State& state) {
+  const int batches = static_cast<int>(state.range(0));
+  const std::string dir = scratch_dir();
+  SessionConfig cfg;
+  cfg.persistence.dir = dir;
+  cfg.persistence.fsync = false;
+  {
+    GraphSession session(bench_base(), cfg);
+    Rng rng(7);
+    for (int i = 0; i < batches; ++i)
+      session.apply_updates(random_batch(*session.snapshot(), rng, 50));
+  }
+  double recovery_ms = 0.0;
+  for (auto _ : state) {
+    auto session = GraphSession::restore(cfg);
+    benchmark::DoNotOptimize(session->epoch());
+    recovery_ms = session->recovery_report().recovery_ms;
+  }
+  state.counters["replayed"] = static_cast<double>(batches);
+  state.counters["recovery_ms"] = recovery_ms;
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_RecoveryReplay)->Arg(0)->Arg(16)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+/// Raw WAL append cost (no session, no graph work): the floor of the
+/// write-ahead overhead per record.
+void BM_WalAppendRaw(benchmark::State& state) {
+  const int edges = static_cast<int>(state.range(0));
+  const std::string dir = scratch_dir();
+  persist::WalWriter w((fs::path(dir) / "wal.stmwal").string(), 1,
+                       /*fsync=*/false, 0, nullptr, 1);
+  DeltaEdges d;
+  for (int i = 0; i < edges; ++i)
+    d.inserted.emplace_back(static_cast<VertexId>(i),
+                            static_cast<VertexId>(i + 1));
+  std::uint64_t epoch = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(w.append_update(++epoch, d).bytes);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(w.appended_bytes()));
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_WalAppendRaw)->Arg(10)->Arg(100)->Unit(benchmark::kMicrosecond);
+
+}  // namespace

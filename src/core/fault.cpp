@@ -16,6 +16,8 @@ const char* to_string(FaultSite site) {
     case FaultSite::kUpdateApply: return "update_apply";
     case FaultSite::kShardFailure: return "shard_failure";
     case FaultSite::kEmitDrop: return "emit_drop";
+    case FaultSite::kWalAppend: return "wal_append";
+    case FaultSite::kCheckpointWrite: return "checkpoint_write";
   }
   return "unknown";
 }

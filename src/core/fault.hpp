@@ -38,8 +38,14 @@ enum class FaultSite : std::uint8_t {
                     // anchor chunk) fails; re-run with bumped incarnation
   kEmitDrop,        // a posted embedding batch is dropped in the emission
                     // transport; the retained staged copy is retransmitted
+  kWalAppend,       // a write-ahead-log append is torn (short/garbled bytes
+                    // hit the file); the writer truncates back to the record
+                    // start and retries, failing closed on exhaustion
+  kCheckpointWrite, // a checkpoint temp file is written torn/garbled; the
+                    // writer discards it and retries, failing closed on
+                    // exhaustion (the WAL keeps full durability meanwhile)
 };
-inline constexpr std::size_t kNumFaultSites = 10;
+inline constexpr std::size_t kNumFaultSites = 12;
 
 const char* to_string(FaultSite site);
 

@@ -50,10 +50,11 @@ Graph GraphSnapshot::compacted() const {
   return out;
 }
 
-MutableGraph::MutableGraph(Graph base)
+MutableGraph::MutableGraph(Graph base, std::uint64_t start_epoch)
     : seed_(std::make_shared<const Graph>(std::move(base))) {
   auto snap = std::make_shared<GraphSnapshot>(GraphSnapshot{});
   snap->base_ = seed_;
+  snap->epoch_ = start_epoch;
   snap->num_edges_ = seed_->num_edges();
   snap->slot_of_.assign(seed_->num_vertices(), -1);
   current_ = std::move(snap);
@@ -72,7 +73,9 @@ void MutableGraph::set_fault(const FaultConfig& cfg) {
     injector_.reset();
 }
 
-ApplyResult MutableGraph::apply(const UpdateBatch& batch) {
+ApplyResult MutableGraph::apply(
+    const UpdateBatch& batch,
+    const std::function<void(const ApplyResult&)>& pre_publish) {
   std::lock_guard<std::mutex> lock(mu_);
   const GraphSnapshot& cur = *current_;
   const VertexId n = cur.num_vertices();
@@ -180,6 +183,12 @@ ApplyResult MutableGraph::apply(const UpdateBatch& batch) {
     throw FaultInjectedError("injected fault: update batch apply failed");
   }
   ++apply_seq_;
+
+  // Write-ahead point: the successor exists but is not yet visible. A hook
+  // failure (torn WAL append past its retry budget) propagates and the batch
+  // never publishes — memory and durable state cannot diverge.
+  result.snapshot = next;
+  if (pre_publish) pre_publish(result);
 
   current_ = std::move(next);
   result.snapshot = current_;

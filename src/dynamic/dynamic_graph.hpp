@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -55,6 +56,7 @@ struct DeltaEdges {
 
   bool empty() const { return inserted.empty() && deleted.empty(); }
   std::size_t size() const { return inserted.size() + deleted.size(); }
+  bool operator==(const DeltaEdges&) const = default;
 };
 
 /// One immutable version of the evolving graph: the CSR base plus merged
@@ -116,7 +118,10 @@ struct ApplyResult {
 /// the duration of a query.
 class MutableGraph {
  public:
-  explicit MutableGraph(Graph base);
+  /// `start_epoch` seeds the version counter; crash recovery constructs the
+  /// graph at its checkpointed epoch so replayed batches reproduce the exact
+  /// epoch sequence of the uninterrupted run.
+  explicit MutableGraph(Graph base, std::uint64_t start_epoch = 0);
 
   /// The current version.
   std::shared_ptr<const GraphSnapshot> snapshot() const;
@@ -131,7 +136,16 @@ class MutableGraph {
   /// published; a failure (validation or injected kUpdateApply fault) leaves
   /// the current version untouched. Throws check_error on self-loops,
   /// out-of-range vertices, or edges listed as both inserted and deleted.
-  ApplyResult apply(const UpdateBatch& batch);
+  ///
+  /// `pre_publish`, when set, runs after the successor snapshot is fully
+  /// built (result.snapshot points at it) but before it becomes visible —
+  /// the write-ahead point of the durability layer: the hook appends the
+  /// normalized batch to the WAL, and if it throws, the batch is dropped and
+  /// the published version stays untouched. The hook is not invoked for
+  /// no-op batches (empty effective delta: no epoch bump, nothing to log).
+  ApplyResult apply(const UpdateBatch& batch,
+                    const std::function<void(const ApplyResult&)>&
+                        pre_publish = nullptr);
 
   /// Rebuilds the CSR from the current version. The logical graph and epoch
   /// are unchanged; the returned snapshot has an empty delta. Live readers

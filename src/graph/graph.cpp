@@ -102,6 +102,19 @@ Graph disjoint_union(const Graph& a, const Graph& b) {
   return Graph(std::move(row_ptr), std::move(col_idx), std::move(labels));
 }
 
+bool graphs_equal(const Graph& a, const Graph& b) {
+  if (a.row_ptr() != b.row_ptr() || a.col_idx() != b.col_idx()) return false;
+  if (a.labels() == b.labels()) return true;
+  // One side unlabeled, the other labeled: equal iff every label is the
+  // implicit 0.
+  const auto& labeled = a.is_labeled() ? a : b;
+  const auto& other = a.is_labeled() ? b : a;
+  if (other.is_labeled()) return false;
+  for (Label l : labeled.labels())
+    if (l != 0) return false;
+  return true;
+}
+
 Graph GraphBuilder::build() {
   std::sort(edges_.begin(), edges_.end());
   edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());

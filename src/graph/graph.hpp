@@ -76,6 +76,12 @@ class Graph {
 /// conformance harness checks.
 Graph disjoint_union(const Graph& a, const Graph& b);
 
+/// Structural equality: identical CSR arrays and identical effective labels
+/// (an unlabeled graph equals an all-zero-labeled one, matching
+/// Graph::label). Used by the durability layer to verify that a recovered
+/// graph is bit-identical to the state it was serialized from.
+bool graphs_equal(const Graph& a, const Graph& b);
+
 /// Incremental, order-insensitive construction of an undirected Graph.
 /// Self-loops are dropped; duplicate edges are deduplicated.
 class GraphBuilder {

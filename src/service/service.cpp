@@ -58,10 +58,54 @@ struct GraphSession::QueryJob {
   Timer since_submit;  // started at submission; queue wait + total latency
 };
 
+/// Everything the delegated-to constructor needs: the graph to build the
+/// member MutableGraph from (the checkpointed CSR when recovery found one,
+/// the caller's seed otherwise), the epoch to seed it at, and the recovered
+/// state the constructor body replays.
+struct GraphSession::Boot {
+  Graph graph;
+  std::uint64_t start_epoch = 0;
+  SessionConfig cfg;
+  std::unique_ptr<persist::PersistenceManager> manager;
+  persist::RecoveredState recovered;
+};
+
+GraphSession::Boot GraphSession::make_boot(Graph graph, SessionConfig cfg) {
+  Boot boot;
+  boot.cfg = std::move(cfg);
+  boot.graph = std::move(graph);
+  if (boot.cfg.persistence.enabled()) {
+    boot.manager =
+        std::make_unique<persist::PersistenceManager>(boot.cfg.persistence);
+    boot.recovered = boot.manager->recover();
+    if (boot.recovered.checkpoint.has_value()) {
+      // The durable state supersedes the seed: bit-identical CSR and epoch,
+      // so replayed WAL batches reproduce the exact pre-crash sequence.
+      boot.graph = std::move(boot.recovered.checkpoint->graph);
+      boot.start_epoch = boot.recovered.checkpoint->epoch;
+    }
+  }
+  return boot;
+}
+
 GraphSession::GraphSession(Graph graph, SessionConfig cfg)
-    : dyn_(std::move(graph)),
-      cfg_(cfg),
-      plan_cache_(cfg.plan_cache_capacity),
+    : GraphSession(make_boot(std::move(graph), std::move(cfg))) {}
+
+std::unique_ptr<GraphSession> GraphSession::restore(SessionConfig cfg) {
+  STM_CHECK_MSG(cfg.persistence.enabled(),
+                "restore requires SessionConfig::persistence.dir");
+  Boot boot = make_boot(Graph{}, std::move(cfg));
+  STM_CHECK_MSG(boot.recovered.checkpoint.has_value(),
+                "restore found no loadable checkpoint in '"
+                    << boot.cfg.persistence.dir
+                    << "'; reconstruct the session with its seed graph");
+  return std::unique_ptr<GraphSession>(new GraphSession(std::move(boot)));
+}
+
+GraphSession::GraphSession(Boot boot)
+    : dyn_(std::move(boot.graph), boot.start_epoch),
+      cfg_(std::move(boot.cfg)),
+      plan_cache_(cfg_.plan_cache_capacity),
       queries_submitted_(metrics_.counter(
           "queries_submitted", "Queries received (admitted + rejected)")),
       queries_admitted_(
@@ -107,6 +151,17 @@ GraphSession::GraphSession(Graph graph, SessionConfig cfg)
       stream_emitted_total_(metrics_.counter(
           "stream_emitted_total",
           "Embeddings emitted into stream sequencers (pre-limit)")),
+      wal_appended_bytes_(metrics_.counter(
+          "wal_appended_bytes_total",
+          "Durable write-ahead-log bytes appended (intact frames only)")),
+      checkpoints_written_(metrics_.counter(
+          "checkpoints_written", "Durable checkpoints installed")),
+      checkpoint_failures_(metrics_.counter(
+          "checkpoint_failures",
+          "Checkpoint installs abandoned (chaos budget exhausted)")),
+      recovery_replayed_batches_(metrics_.counter(
+          "recovery_replayed_batches",
+          "Update batches replayed from the WAL at session construction")),
       inflight_(metrics_.gauge("inflight_queries", "Queries executing now")),
       queue_depth_(metrics_.gauge("queue_depth", "Queries waiting to start")),
       cache_hit_rate_(metrics_.gauge("plan_cache_hit_rate",
@@ -124,6 +179,8 @@ GraphSession::GraphSession(Graph graph, SessionConfig cfg)
           "cut_edge_fraction", "Cut edges / total edges of the partition")),
       open_streams_(
           metrics_.gauge("open_streams", "Embedding streams open now")),
+      recovery_ms_(metrics_.gauge(
+          "recovery_ms", "Wall time of crash recovery at construction")),
       latency_ms_(metrics_.histogram("query_latency_ms",
                                      "Submission-to-completion latency")),
       queue_wait_ms_(metrics_.histogram("queue_wait_ms",
@@ -136,16 +193,15 @@ GraphSession::GraphSession(Graph graph, SessionConfig cfg)
       stream_backpressure_ms_(metrics_.histogram(
           "stream_backpressure_ms",
           "Producer wall time blocked on stream backpressure, per stream")),
-      watchdog_(cfg.resilience.watchdog_stall_ms, cfg.resilience.watchdog_poll_ms,
-                &watchdog_kills_),
-      admission_(std::max<std::size_t>(1, cfg.max_concurrent_queries),
-                 cfg.max_queued_queries) {
+      checkpoint_duration_ms_(metrics_.histogram(
+          "checkpoint_duration_ms",
+          "Durable checkpoint install wall time (snapshot + fsync + rename)")),
+      watchdog_(cfg_.resilience.watchdog_stall_ms,
+                cfg_.resilience.watchdog_poll_ms, &watchdog_kills_),
+      admission_(std::max<std::size_t>(1, cfg_.max_concurrent_queries),
+                 cfg_.max_queued_queries) {
   STM_CHECK_MSG(dyn_.base().num_vertices() > 0,
                 "GraphSession requires a non-empty graph");
-  if (cfg_.update_fault.enabled()) {
-    STM_CHECK(cfg_.update_fault.max_unit_attempts >= 1);
-    dyn_.set_fault(cfg_.update_fault);
-  }
   for (std::size_t k = 0; k < kNumEngineKinds; ++k) {
     breakers_[k] = CircuitBreaker(cfg_.resilience.breaker);
     breaker_state_gauges_[k] = &metrics_.gauge(
@@ -157,6 +213,70 @@ GraphSession::GraphSession(Graph graph, SessionConfig cfg)
     pool_injector_.emplace(cfg_.resilience.pool_fault);
     admission_.set_fault_injection(&*pool_injector_,
                                    cfg_.resilience.pool_fault.max_unit_attempts);
+  }
+
+  persist_ = std::move(boot.manager);
+  if (persist_ != nullptr) {
+    Timer recovery_timer;
+    persist::RecoveredState& rec = boot.recovered;
+    recovery_report_ = rec.report;
+    if (rec.checkpoint.has_value()) {
+      next_standing_id_ = rec.checkpoint->next_standing_id;
+      for (const persist::StandingEntry& e : rec.checkpoint->standing)
+        restore_standing(e);
+    }
+    // Replay the WAL tail in LSN order through the regular apply path. The
+    // update fault injector is installed only *after* replay: a replayed
+    // batch was already acknowledged once and must not re-roll its dice.
+    for (const persist::WalRecord& r : rec.tail) {
+      switch (r.type) {
+        case persist::WalRecordType::kUpdateBatch: {
+          const std::shared_ptr<const GraphSnapshot> from = dyn_.snapshot();
+          UpdateBatch batch;
+          batch.insertions = r.delta.inserted;
+          batch.deletions = r.delta.deleted;
+          const ApplyResult applied = dyn_.apply(batch);
+          STM_CHECK_MSG(applied.snapshot->epoch() == r.epoch,
+                        "WAL replay diverged: record "
+                            << r.lsn << " expects epoch " << r.epoch
+                            << " but replay produced "
+                            << applied.snapshot->epoch());
+          STM_CHECK_MSG(applied.applied == r.delta,
+                        "WAL replay diverged: record "
+                            << r.lsn
+                            << " re-applied with a different effective delta");
+          apply_standing_deltas(from, applied.applied, r.epoch, nullptr);
+          break;
+        }
+        case persist::WalRecordType::kRegisterStanding:
+          restore_standing(r.standing);
+          next_standing_id_ = std::max(next_standing_id_, r.standing.id + 1);
+          break;
+        case persist::WalRecordType::kUnregisterStanding:
+          standing_.erase(r.standing_id);
+          break;
+      }
+    }
+    standing_queries_.set(static_cast<double>(standing_.size()));
+    graph_epoch_.set(static_cast<double>(dyn_.epoch()));
+    // Fold the replayed deltas back into a flat CSR: post-recovery queries
+    // (and a sharded partition build) should not pay the overlay tax for
+    // history that is already durable.
+    if (!rec.tail.empty()) dyn_.compact();
+    persist_->open_wal(rec.next_lsn, rec.wal_valid_bytes);
+    if (!rec.report.checkpoint_loaded) {
+      // First boot of this directory: install checkpoint 1 right away so
+      // restore() works after any later crash (failure is tolerable — the
+      // WAL alone still carries everything).
+      checkpoint_locked();
+    }
+    recovery_report_.recovery_ms = recovery_timer.elapsed_ms();
+    recovery_ms_.set(recovery_report_.recovery_ms);
+    recovery_replayed_batches_.inc(recovery_report_.replayed_batches);
+  }
+  if (cfg_.update_fault.enabled()) {
+    STM_CHECK(cfg_.update_fault.max_unit_attempts >= 1);
+    dyn_.set_fault(cfg_.update_fault);
   }
   if (cfg_.sharding.enabled()) {
     if (cfg_.sharding.fault.enabled())
@@ -172,6 +292,11 @@ GraphSession::~GraphSession() {
   std::vector<std::shared_ptr<StreamState>> live;
   {
     std::lock_guard<std::mutex> lock(streams_mu_);
+    // From here on open_stream rejects (kCancelled) instead of admitting:
+    // the flag and the sweep snapshot change under one lock, so a stream
+    // racing this destructor is either in `live` (and swept below) or was
+    // never admitted — it cannot slip in between and outlive the session.
+    shutting_down_ = true;
     live.assign(live_streams_.begin(), live_streams_.end());
   }
   for (const auto& st : live) finalize_stream(st);
@@ -299,8 +424,18 @@ void GraphSession::rebuild_shards(std::shared_ptr<const GraphSnapshot> snap,
     pcfg.num_shards = cfg_.sharding.num_shards;
     pcfg.strategy = cfg_.sharding.strategy;
     pcfg.hash_salt = cfg_.sharding.hash_salt;
+    // Partition the version we are pairing with — not the seed CSR, which a
+    // recovered session has long moved past. The full build only runs at
+    // construction (or first enable), where the snapshot is compact; fold
+    // any delta in defensively rather than silently dropping those edges.
+    const Graph* base = &snap->base();
+    Graph materialized;
+    if (!snap->delta_from_base().empty()) {
+      materialized = snap->compacted();
+      base = &materialized;
+    }
     next = std::make_shared<const dist::Partition>(
-        dist::partition_graph(dyn_.base(), pcfg));
+        dist::partition_graph(*base, pcfg));
   }
 
   // Publish the balance gauges from the materialized shards: labeled
@@ -672,7 +807,25 @@ UpdateOutcome GraphSession::do_apply(const UpdateBatch& batch) {
   const std::shared_ptr<const GraphSnapshot> from = dyn_.snapshot();
   ApplyResult applied;
   try {
-    applied = dyn_.apply(batch);
+    if (persist_ != nullptr) {
+      // Write-ahead discipline: the effective delta is logged (and fsynced)
+      // at the pre-publish point — after the successor snapshot is fully
+      // built and the kUpdateApply fault check passed, before readers can
+      // see it. A hook throw (exhausted kWalAppend budget) drops the batch:
+      // memory and durable state stay in lockstep either way. No-op batches
+      // skip the hook entirely (no epoch bump, nothing to recover).
+      applied = dyn_.apply(batch, [this](const ApplyResult& r) {
+        const persist::WalAppendResult res =
+            persist_->log_update(r.snapshot->epoch(), r.applied);
+        wal_appended_bytes_.inc(res.bytes);
+        if (res.faults > 0) {
+          faults_injected_total_.inc(res.faults);
+          recovery_units_total_.inc(1);  // the record landed after repairs
+        }
+      });
+    } else {
+      applied = dyn_.apply(batch);
+    }
   } catch (const check_error& e) {
     updates_failed_.inc();
     out.status = QueryStatus::kInvalidArgument;
@@ -704,59 +857,75 @@ UpdateOutcome GraphSession::do_apply(const UpdateBatch& batch) {
   // touched shards only); queries pin the pair atomically under shard_mu_.
   if (cfg_.sharding.enabled()) rebuild_shards(applied.snapshot, &applied.applied);
 
-  if (!applied.applied.empty()) {
-    Timer inc_timer;
-    std::lock_guard<std::mutex> standing_lock(standing_mu_);
-    for (auto& [id, sq] : standing_) {
-      Timer one;
-      const DeltaMatchResult d = sq.matcher->count_delta(from, applied.applied);
-      const double delta_ms = one.elapsed_ms();
-      sq.count = static_cast<std::uint64_t>(
-          static_cast<std::int64_t>(sq.count) + d.delta);
-      sq.epoch = out.epoch;
-      ++sq.batches;
-      if (sq.full_ms > 0.0 && delta_ms > 0.0) {
-        delta_speedup_.set(sq.full_ms / delta_ms);
-      }
-      StandingQueryUpdate upd;
-      upd.query_id = id;
-      upd.epoch = out.epoch;
-      upd.delta = d.delta;
-      upd.count = sq.count;
-      upd.delta_ms = delta_ms;
-      if (sq.on_update) sq.on_update(upd);
-      out.updates.push_back(std::move(upd));
+  apply_standing_deltas(from, applied.applied, out.epoch, &out);
 
-      if (sq.streamer != nullptr) {
-        Timer emb_timer;
-        stream::DeltaBatch db = sq.streamer->delta(from, applied.applied);
-        StandingQueryDelta sd;
-        sd.query_id = id;
-        sd.epoch = out.epoch;
-        sd.delta_ms = emb_timer.elapsed_ms();
-        // Embedding-level and count-level deltas are computed independently
-        // (enumeration vs. counting over the same anchored identity); they
-        // must agree exactly.
-        STM_CHECK_MSG(static_cast<std::int64_t>(db.added.size()) -
-                              static_cast<std::int64_t>(db.retracted.size()) ==
-                          d.delta,
-                      "standing query " << id << ": embedding delta "
-                                        << db.added.size() << " - "
-                                        << db.retracted.size()
-                                        << " disagrees with count delta "
-                                        << d.delta);
-        sd.added = std::move(db.added);
-        sd.retracted = std::move(db.retracted);
-        sq.on_delta(sd);
-      }
-    }
-    out.incremental_ms = inc_timer.elapsed_ms();
-    incremental_latency_ms_.observe(out.incremental_ms);
+  if (persist_ != nullptr && cfg_.persistence.checkpoint_every_batches > 0 &&
+      ++batches_since_checkpoint_ >=
+          cfg_.persistence.checkpoint_every_batches) {
+    // Post-batch checkpoint: standing counts are already advanced, so the
+    // manifest matches the CSR it is stored with. A chaos-failed install
+    // leaves the WAL authoritative and retries after the next batch.
+    checkpoint_locked();
   }
 
   out.update_ms = total.elapsed_ms();
   update_latency_ms_.observe(out.update_ms);
   return out;
+}
+
+void GraphSession::apply_standing_deltas(
+    const std::shared_ptr<const GraphSnapshot>& from, const DeltaEdges& applied,
+    std::uint64_t epoch, UpdateOutcome* out) {
+  if (applied.empty()) return;
+  Timer inc_timer;
+  std::lock_guard<std::mutex> standing_lock(standing_mu_);
+  for (auto& [id, sq] : standing_) {
+    Timer one;
+    const DeltaMatchResult d = sq.matcher->count_delta(from, applied);
+    const double delta_ms = one.elapsed_ms();
+    sq.count = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(sq.count) + d.delta);
+    sq.epoch = epoch;
+    ++sq.batches;
+    if (sq.full_ms > 0.0 && delta_ms > 0.0) {
+      delta_speedup_.set(sq.full_ms / delta_ms);
+    }
+    StandingQueryUpdate upd;
+    upd.query_id = id;
+    upd.epoch = epoch;
+    upd.delta = d.delta;
+    upd.count = sq.count;
+    upd.delta_ms = delta_ms;
+    if (sq.on_update) sq.on_update(upd);
+    if (out != nullptr) out->updates.push_back(std::move(upd));
+
+    if (sq.streamer != nullptr) {
+      Timer emb_timer;
+      stream::DeltaBatch db = sq.streamer->delta(from, applied);
+      StandingQueryDelta sd;
+      sd.query_id = id;
+      sd.epoch = epoch;
+      sd.delta_ms = emb_timer.elapsed_ms();
+      // Embedding-level and count-level deltas are computed independently
+      // (enumeration vs. counting over the same anchored identity); they
+      // must agree exactly.
+      STM_CHECK_MSG(static_cast<std::int64_t>(db.added.size()) -
+                            static_cast<std::int64_t>(db.retracted.size()) ==
+                        d.delta,
+                    "standing query " << id << ": embedding delta "
+                                      << db.added.size() << " - "
+                                      << db.retracted.size()
+                                      << " disagrees with count delta "
+                                      << d.delta);
+      sd.added = std::move(db.added);
+      sd.retracted = std::move(db.retracted);
+      sq.on_delta(sd);
+    }
+  }
+  if (out != nullptr) {
+    out->incremental_ms = inc_timer.elapsed_ms();
+    incremental_latency_ms_.observe(out->incremental_ms);
+  }
 }
 
 std::uint64_t GraphSession::register_standing_query(StandingQueryConfig cfg) {
@@ -793,19 +962,48 @@ std::uint64_t GraphSession::register_standing_query(StandingQueryConfig cfg) {
   sq.count = full.count;
   sq.epoch = snap->epoch();
   sq.full_ms = full_ms;
+  sq.plan = cfg.plan;
+  sq.engine = cfg.engine;
 
   std::lock_guard<std::mutex> standing_lock(standing_mu_);
-  const std::uint64_t id = next_standing_id_++;
+  const std::uint64_t id = next_standing_id_;
+  if (persist_ != nullptr) {
+    // Logged before the id is consumed or the query installed: if the append
+    // exhausts its chaos budget the throw leaves memory and the id space
+    // untouched, so replay and live state can never disagree.
+    const persist::WalAppendResult res =
+        persist_->log_register(standing_entry(id, sq), snap->epoch());
+    wal_appended_bytes_.inc(res.bytes);
+    if (res.faults > 0) {
+      faults_injected_total_.inc(res.faults);
+      recovery_units_total_.inc(1);
+    }
+  }
+  ++next_standing_id_;
   standing_.emplace(id, std::move(sq));
   standing_queries_.set(static_cast<double>(standing_.size()));
   return id;
 }
 
 bool GraphSession::unregister_standing_query(std::uint64_t id) {
+  // Serialized with the update path so the unregistration's WAL position is
+  // unambiguous relative to update records.
+  std::lock_guard<std::mutex> update_lock(update_mu_);
   std::lock_guard<std::mutex> lock(standing_mu_);
-  const bool erased = standing_.erase(id) > 0;
+  auto it = standing_.find(id);
+  if (it == standing_.end()) return false;
+  if (persist_ != nullptr) {
+    const persist::WalAppendResult res =
+        persist_->log_unregister(id, dyn_.epoch());
+    wal_appended_bytes_.inc(res.bytes);
+    if (res.faults > 0) {
+      faults_injected_total_.inc(res.faults);
+      recovery_units_total_.inc(1);
+    }
+  }
+  standing_.erase(it);
   standing_queries_.set(static_cast<double>(standing_.size()));
-  return erased;
+  return true;
 }
 
 std::optional<StandingQueryInfo> GraphSession::standing_query(
@@ -821,6 +1019,87 @@ std::optional<StandingQueryInfo> GraphSession::standing_query(
   info.batches_observed = it->second.batches;
   info.full_ms = it->second.full_ms;
   return info;
+}
+
+persist::StandingEntry GraphSession::standing_entry(
+    std::uint64_t id, const StandingQuery& sq) const {
+  persist::StandingEntry e;
+  e.id = id;
+  e.pattern = sq.pattern.to_string();
+  e.plan = sq.plan;
+  e.engine = sq.engine;
+  e.count = sq.count;
+  e.epoch = sq.epoch;
+  e.batches = sq.batches;
+  e.full_ms = sq.full_ms;
+  return e;
+}
+
+void GraphSession::restore_standing(const persist::StandingEntry& entry) {
+  // Counts are durable, not recomputed: the registration record carries the
+  // baseline and update records advance it through the same delta path that
+  // ran before the crash, so no full re-enumeration happens at boot. The
+  // matcher itself is stateless and is simply rebuilt. Callbacks and delta
+  // streamers cannot be serialized; a restored session re-attaches them by
+  // registering fresh queries.
+  StandingQuery sq;
+  sq.pattern = Pattern::parse(entry.pattern);
+  IncrementalOptions inc_opts;
+  inc_opts.plan = entry.plan;
+  inc_opts.engine = entry.engine;
+  sq.matcher =
+      std::make_shared<const IncrementalMatcher>(sq.pattern, inc_opts);
+  sq.count = entry.count;
+  sq.epoch = entry.epoch;
+  sq.batches = entry.batches;
+  sq.full_ms = entry.full_ms;
+  sq.plan = entry.plan;
+  sq.engine = entry.engine;
+  std::lock_guard<std::mutex> lock(standing_mu_);
+  standing_.insert_or_assign(entry.id, std::move(sq));
+}
+
+bool GraphSession::checkpoint() {
+  STM_CHECK_MSG(persist_ != nullptr,
+                "checkpoint() requires SessionConfig::persistence");
+  std::lock_guard<std::mutex> lock(update_mu_);
+  return checkpoint_locked();
+}
+
+bool GraphSession::checkpoint_locked() {
+  Timer timer;
+  persist::CheckpointData data;
+  const std::shared_ptr<const GraphSnapshot> snap = dyn_.snapshot();
+  data.epoch = snap->epoch();
+  data.graph = snap->compacted();
+  {
+    std::lock_guard<std::mutex> standing_lock(standing_mu_);
+    data.next_standing_id = next_standing_id_;
+    data.standing.reserve(standing_.size());
+    for (const auto& [id, sq] : standing_)
+      data.standing.push_back(standing_entry(id, sq));
+  }
+  const std::uint64_t faults_before = persist_->faults_injected();
+  bool ok = true;
+  try {
+    persist_->install_checkpoint(std::move(data));
+  } catch (const FaultInjectedError&) {
+    // Exhausted chaos budget: the WAL and previous checkpoint set still
+    // hold everything, so the session keeps running un-checkpointed.
+    checkpoint_failures_.inc(1);
+    ok = false;
+  }
+  const std::uint64_t faults = persist_->faults_injected() - faults_before;
+  if (faults > 0) {
+    faults_injected_total_.inc(faults);
+    if (ok) recovery_units_total_.inc(1);
+  }
+  if (ok) {
+    batches_since_checkpoint_ = 0;
+    checkpoints_written_.inc(1);
+    checkpoint_duration_ms_.observe(timer.elapsed_ms());
+  }
+  return ok;
 }
 
 }  // namespace stm

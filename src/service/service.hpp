@@ -54,6 +54,7 @@
 #include "dynamic/incremental.hpp"
 #include "graph/graph.hpp"
 #include "pattern/pattern.hpp"
+#include "persist/manager.hpp"
 #include "service/admission.hpp"
 #include "service/metrics.hpp"
 #include "service/plan_cache.hpp"
@@ -262,12 +263,30 @@ struct SessionConfig {
   /// a pinned snapshot until closed), so they are admitted against this
   /// bound rather than the dispatcher pool. 0 = uncapped.
   std::size_t max_open_streams = 8;
+  /// Durability (DESIGN.md §13): with a non-empty state directory, every
+  /// applied batch and standing-query (de)registration is WAL-logged before
+  /// acknowledgement, checkpoints snapshot the compacted graph + session
+  /// manifest, and construction runs crash recovery against whatever the
+  /// directory holds (checkpoint load + WAL tail replay).
+  persist::PersistenceConfig persistence;
 };
 
 class GraphSession {
  public:
+  /// With SessionConfig::persistence enabled and prior state in the
+  /// directory, `graph` is only the bootstrap seed: recovery loads the
+  /// newest valid checkpoint (falling back to the previous one on a
+  /// checksum mismatch) and replays the WAL tail batch-by-batch through the
+  /// regular apply path, arriving at the exact pre-crash epoch and
+  /// standing-query counts before the session accepts traffic.
   explicit GraphSession(Graph graph, SessionConfig cfg = {});
   ~GraphSession();
+
+  /// Reopens a session purely from its persistence directory — no seed
+  /// graph needed, because bootstrap installs checkpoint 1 immediately.
+  /// Throws check_error when the directory holds no loadable checkpoint
+  /// (construct with the seed graph instead; that path replays any WAL).
+  static std::unique_ptr<GraphSession> restore(SessionConfig cfg);
 
   GraphSession(const GraphSession&) = delete;
   GraphSession& operator=(const GraphSession&) = delete;
@@ -308,6 +327,19 @@ class GraphSession {
   /// epoch). Serialized with updates.
   void compact();
 
+  /// Installs a durable checkpoint of the current state (compacted CSR +
+  /// epoch + standing-query manifest) and truncates the WAL it covers.
+  /// Serialized with updates. Returns false when an injected
+  /// kCheckpointWrite budget was exhausted — the session keeps running on
+  /// WAL durability alone. Requires SessionConfig::persistence.
+  bool checkpoint();
+
+  /// What crash recovery did at construction (all-default when persistence
+  /// is off or the state directory was fresh).
+  const persist::RecoveryReport& recovery_report() const {
+    return recovery_report_;
+  }
+
   /// Opens an embedding stream (service/stream.hpp): the query's matched
   /// embeddings, delivered in the deterministic global order, pulled by the
   /// caller. Never blocks: admission failure (max_open_streams), an invalid
@@ -324,9 +356,14 @@ class GraphSession {
   /// Registers a pattern for per-batch count deltas. Runs one full
   /// enumeration on the current snapshot to establish the baseline count
   /// (and the full-cost reference of the speedup gauge). Throws check_error
-  /// for unsupported options (e.g. vertex-induced matching).
+  /// for unsupported options (e.g. vertex-induced matching). With
+  /// persistence, the registration is WAL-logged (baseline count included)
+  /// before it takes effect; an exhausted kWalAppend budget throws
+  /// FaultInjectedError and registers nothing.
   std::uint64_t register_standing_query(StandingQueryConfig cfg);
-  /// Removes a standing query; false when the id is unknown.
+  /// Removes a standing query; false when the id is unknown. With
+  /// persistence, the removal is WAL-logged first (and serialized with the
+  /// update path, like registration).
   bool unregister_standing_query(std::uint64_t id);
   /// Current state of a standing query, if registered.
   std::optional<StandingQueryInfo> standing_query(std::uint64_t id) const;
@@ -354,6 +391,10 @@ class GraphSession {
   struct StreamState;
   struct StandingQuery {
     Pattern pattern;
+    /// Registration options, kept for checkpoint manifests (the matcher
+    /// does not expose them back).
+    PlanOptions plan;
+    DeltaEngine engine = DeltaEngine::kHost;
     std::shared_ptr<const IncrementalMatcher> matcher;
     std::function<void(const StandingQueryUpdate&)> on_update;
     /// Present iff on_delta is set: the embedding-level delta enumerator.
@@ -391,6 +432,29 @@ class GraphSession {
                                 const std::shared_ptr<CancelToken>& token);
   /// The update path proper (runs on a dispatcher worker).
   UpdateOutcome do_apply(const UpdateBatch& batch);
+  /// Per-batch standing-query sweep (count deltas, subscribers, speedup
+  /// gauge), shared between do_apply and WAL replay (`out` null there: no
+  /// outcome to fill, no latency to record).
+  void apply_standing_deltas(const std::shared_ptr<const GraphSnapshot>& from,
+                             const DeltaEdges& applied, std::uint64_t epoch,
+                             UpdateOutcome* out);
+
+  /// Pre-construction state assembly: runs recovery (when persistence is
+  /// on) so the member graph can be built directly at the checkpointed
+  /// epoch; the delegated-to constructor then replays the WAL tail.
+  struct Boot;
+  explicit GraphSession(Boot boot);
+  static Boot make_boot(Graph graph, SessionConfig cfg);
+  /// Re-creates a standing query from its durable entry. Counts are
+  /// restored, not recomputed: the entry was logged after the baseline
+  /// enumeration (registration) or carries the cumulative count
+  /// (checkpoint manifest). Subscriber callbacks do not survive a restart.
+  void restore_standing(const persist::StandingEntry& entry);
+  /// Serializable form of one registered standing query.
+  persist::StandingEntry standing_entry(std::uint64_t id,
+                                        const StandingQuery& sq) const;
+  /// checkpoint() body; caller holds update_mu_.
+  bool checkpoint_locked();
 
   /// Producer-thread body of an embedding stream: runs the engine in
   /// emission mode against the state's pinned snapshot, then finishes the
@@ -438,9 +502,19 @@ class GraphSession {
 
   /// Open embedding streams (admission accounting + shutdown sweep: the
   /// session destructor aborts and finalizes whatever is still open so
-  /// orphaned handles cannot touch a dead session).
+  /// orphaned handles cannot touch a dead session). shutting_down_ closes
+  /// the race between the destructor's sweep and an open_stream admitted
+  /// concurrently — both the flag and the registry mutate under streams_mu_,
+  /// so a stream is either swept or rejected, never orphaned live.
   std::mutex streams_mu_;
   std::unordered_set<std::shared_ptr<StreamState>> live_streams_;
+  bool shutting_down_ = false;  // guarded by streams_mu_
+
+  /// Durability stack (null without SessionConfig::persistence). WAL
+  /// appends are serialized under update_mu_ (the single-writer lock).
+  std::unique_ptr<persist::PersistenceManager> persist_;
+  persist::RecoveryReport recovery_report_;
+  std::uint32_t batches_since_checkpoint_ = 0;  // guarded by update_mu_
 
   // Cached metric handles (registry entries have stable addresses).
   Counter& queries_submitted_;
@@ -464,6 +538,10 @@ class GraphSession {
   Counter& sharded_queries_;
   Counter& shard_chunk_steals_;
   Counter& stream_emitted_total_;
+  Counter& wal_appended_bytes_;
+  Counter& checkpoints_written_;
+  Counter& checkpoint_failures_;
+  Counter& recovery_replayed_batches_;
   Gauge& inflight_;
   Gauge& queue_depth_;
   Gauge& cache_hit_rate_;
@@ -473,11 +551,13 @@ class GraphSession {
   Gauge& shard_imbalance_;
   Gauge& cut_edge_fraction_;
   Gauge& open_streams_;
+  Gauge& recovery_ms_;
   Histogram& latency_ms_;
   Histogram& queue_wait_ms_;
   Histogram& update_latency_ms_;
   Histogram& incremental_latency_ms_;
   Histogram& stream_backpressure_ms_;
+  Histogram& checkpoint_duration_ms_;
 
   // One breaker per engine kind, guarded by breakers_mu_ (engine calls run
   // outside the lock; only the state transitions are serialized). The

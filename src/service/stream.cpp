@@ -92,17 +92,26 @@ bool decode_resume(const std::string& token, std::uint64_t epoch,
       !parse_u64(fields[2], 16, &tok_fp) ||
       !parse_u64(fields[3], 10, &tok_v0) || !parse_u64(fields[4], 10, skip) ||
       !parse_u64(fields[5], 10, total)) {
-    *error = "malformed resume token";
+    // A parse failure means the caller corrupted the token; stale tokens
+    // (below) parse fine and get a diagnosable expected-vs-observed error.
+    *error =
+        "malformed resume token: expected "
+        "\"stm1.<epoch>.<fingerprint>.<v0>.<skip>.<total>\", got \"" +
+        token + "\"";
     return false;
   }
   if (tok_fp != fp) {
-    *error = "resume token was issued for a different pattern or plan options";
+    std::ostringstream os;
+    os << "stale resume token: issued for pattern fingerprint " << std::hex
+       << tok_fp << " but this query's fingerprint is " << fp << std::dec
+       << " (different pattern or plan options)";
+    *error = os.str();
     return false;
   }
   if (tok_epoch != epoch) {
     std::ostringstream os;
-    os << "resume token is for graph epoch " << tok_epoch
-       << " but the session is at epoch " << epoch
+    os << "stale resume token: issued at graph epoch " << tok_epoch
+       << " but the graph has moved on to epoch " << epoch
        << " (the stream order is only defined within one epoch)";
     *error = os.str();
     return false;
@@ -178,11 +187,15 @@ struct GraphSession::StreamState {
   // Consumer-thread state. The handle is single-consumer; the finalizer is
   // serialized behind the once-flag and joins the producer first.
   std::uint64_t skip_left = 0;
-  std::uint64_t delivered = 0;
+  // delivered / limit_reached / drained are written by the consumer thread
+  // in next() and read by whichever thread runs the finalizer — including
+  // the session destructor sweeping live streams while a consumer is still
+  // pulling. Atomics keep that teardown race benign (and TSan-clean).
+  std::atomic<std::uint64_t> delivered{0};
   VertexId cursor_v0 = 0;         // outer vertex of the stream position
   std::uint64_t cursor_skip = 0;  // embeddings delivered at cursor_v0
-  bool limit_reached = false;
-  bool drained = false;  // consumer observed end-of-stream
+  std::atomic<bool> limit_reached{false};
+  std::atomic<bool> drained{false};  // consumer observed end-of-stream
   std::atomic<bool> cancel_requested{false};
   Timer since_open;
   std::once_flag finalize_once;
@@ -274,6 +287,12 @@ std::unique_ptr<EmbeddingStream> GraphSession::open_stream(StreamRequest req) {
 
   {
     std::lock_guard<std::mutex> lock(streams_mu_);
+    if (shutting_down_) {
+      StreamRequest rejected;
+      rejected.query.engine = st->req.engine;
+      return reject_stream(rejected, QueryStatus::kCancelled,
+                           "stream rejected: the session is shutting down");
+    }
     if (cfg_.max_open_streams > 0 &&
         live_streams_.size() >= cfg_.max_open_streams) {
       StreamRequest rejected;

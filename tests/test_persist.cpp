@@ -1,0 +1,792 @@
+// Tests for the durability subsystem (DESIGN.md §13): WAL framing and
+// torn-tail semantics, checkpoint atomicity and fallback, session crash
+// recovery, the kill-point matrix, and chaos-injected durability.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "persist/checkpoint.hpp"
+#include "persist/codec.hpp"
+#include "persist/manager.hpp"
+#include "persist/wal.hpp"
+#include "service/service.hpp"
+#include "service/stream.hpp"
+#include "util/check.hpp"
+
+namespace stm {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// A unique scratch directory, removed on scope exit.
+class ScopedDir {
+ public:
+  explicit ScopedDir(const std::string& tag) {
+    static std::atomic<std::uint64_t> counter{0};
+    path_ = fs::temp_directory_path() /
+            ("stmatch-persist-" + tag + "-" +
+             std::to_string(::getpid()) + "-" +
+             std::to_string(counter.fetch_add(1)));
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~ScopedDir() { fs::remove_all(path_); }
+  const std::string str() const { return path_.string(); }
+  const fs::path& path() const { return path_; }
+
+ private:
+  fs::path path_;
+};
+
+Pattern triangle() { return Pattern::parse("0-1,1-2,2-0"); }
+
+Graph seed_graph() { return make_barabasi_albert(60, 3, 17); }
+
+/// Deterministic batch stream: batch k inserts a few spread-out edges and
+/// deletes one of a previous batch's, with occasional redundancy.
+UpdateBatch make_batch(int k, VertexId n) {
+  UpdateBatch b;
+  const auto v = [&](std::uint64_t x) {
+    return static_cast<VertexId>((x * 2654435761ull + 7) % n);
+  };
+  const std::uint64_t base = static_cast<std::uint64_t>(k) * 13;
+  for (int i = 0; i < 4; ++i) {
+    VertexId a = v(base + i), c = v(base + i + 101);
+    if (a == c) c = (c + 1) % n;
+    b.insertions.emplace_back(a, c);
+  }
+  if (k > 0) {
+    VertexId a = v(base - 13), c = v(base - 13 + 101);
+    if (a == c) c = (c + 1) % n;
+    b.deletions.emplace_back(a, c);
+  }
+  return b;
+}
+
+std::string wal_file(const std::string& dir) {
+  return (fs::path(dir) / "wal.stmwal").string();
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << bytes;
+}
+
+SessionConfig persist_cfg(const std::string& dir) {
+  SessionConfig cfg;
+  cfg.persistence.dir = dir;
+  cfg.persistence.fsync = false;  // process-kill durability is what we test
+  return cfg;
+}
+
+std::uint64_t count_triangles(GraphSession& s) {
+  QueryRequest req;
+  req.pattern = triangle();
+  QueryResult r = s.run(req);
+  EXPECT_TRUE(r.ok()) << r.error;
+  return r.count;
+}
+
+// ---------------------------------------------------------------------------
+// WAL framing
+// ---------------------------------------------------------------------------
+
+TEST(PersistWal, AppendAndReadBackAllRecordTypes) {
+  ScopedDir dir("wal-roundtrip");
+  const std::string path = wal_file(dir.str());
+  {
+    persist::WalWriter w(path, 1, /*fsync=*/false, 0, nullptr, 1);
+    DeltaEdges d;
+    d.inserted = {{1, 2}, {3, 4}};
+    d.deleted = {{5, 6}};
+    EXPECT_EQ(w.append_update(7, d).lsn, 1u);
+    persist::StandingEntry e;
+    e.id = 3;
+    e.pattern = triangle().to_string();
+    e.plan.count_mode = CountMode::kEmbeddings;
+    e.count = 99;
+    e.epoch = 7;
+    e.batches = 2;
+    e.full_ms = 1.5;
+    EXPECT_EQ(w.append_register(e, 7).lsn, 2u);
+    EXPECT_EQ(w.append_unregister(3, 8).lsn, 3u);
+  }
+  const persist::WalReadResult r = persist::read_wal(path);
+  ASSERT_EQ(r.records.size(), 3u);
+  EXPECT_FALSE(r.torn_tail);
+  EXPECT_EQ(r.next_lsn, 4u);
+  EXPECT_EQ(r.records[0].type, persist::WalRecordType::kUpdateBatch);
+  EXPECT_EQ(r.records[0].epoch, 7u);
+  EXPECT_EQ(r.records[0].delta.inserted,
+            (std::vector<std::pair<VertexId, VertexId>>{{1, 2}, {3, 4}}));
+  EXPECT_EQ(r.records[0].delta.deleted,
+            (std::vector<std::pair<VertexId, VertexId>>{{5, 6}}));
+  EXPECT_EQ(r.records[1].standing.id, 3u);
+  EXPECT_EQ(r.records[1].standing.pattern, triangle().to_string());
+  EXPECT_EQ(r.records[1].standing.count, 99u);
+  EXPECT_EQ(r.records[1].standing.batches, 2u);
+  EXPECT_DOUBLE_EQ(r.records[1].standing.full_ms, 1.5);
+  EXPECT_EQ(r.records[2].standing_id, 3u);
+  EXPECT_EQ(r.records[2].epoch, 8u);
+}
+
+TEST(PersistWal, TornTailIsReportedAndTruncatedOnReopen) {
+  ScopedDir dir("wal-torn");
+  const std::string path = wal_file(dir.str());
+  {
+    persist::WalWriter w(path, 1, false, 0, nullptr, 1);
+    DeltaEdges d;
+    d.inserted = {{0, 1}};
+    w.append_update(1, d);
+  }
+  const std::uint64_t intact = fs::file_size(path);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    const char garbage[] = {0x20, 0x00, 0x00, 0x00, 'x', 'y'};
+    out.write(garbage, sizeof(garbage));
+  }
+  persist::WalReadResult r = persist::read_wal(path);
+  EXPECT_TRUE(r.torn_tail);
+  EXPECT_EQ(r.records.size(), 1u);
+  EXPECT_EQ(r.valid_bytes, intact);
+  EXPECT_EQ(r.discarded_bytes, 6u);
+
+  // Reopening through the writer with truncate_to physically discards the
+  // tail; the next append lands where the torn frame began.
+  {
+    persist::WalWriter w(path, r.next_lsn, false, r.valid_bytes, nullptr, 1);
+    DeltaEdges d;
+    d.deleted = {{0, 1}};
+    w.append_update(2, d);
+  }
+  r = persist::read_wal(path);
+  EXPECT_FALSE(r.torn_tail);
+  ASSERT_EQ(r.records.size(), 2u);
+  EXPECT_EQ(r.records[1].lsn, 2u);
+}
+
+TEST(PersistWal, ResetTruncatesButLsnsKeepCounting) {
+  ScopedDir dir("wal-reset");
+  const std::string path = wal_file(dir.str());
+  persist::WalWriter w(path, 1, false, 0, nullptr, 1);
+  DeltaEdges d;
+  d.inserted = {{0, 1}};
+  w.append_update(1, d);
+  w.append_update(2, d);
+  w.reset();
+  EXPECT_EQ(fs::file_size(path), persist::kWalMagicSize);
+  EXPECT_EQ(w.append_update(3, d).lsn, 3u);
+  const persist::WalReadResult r = persist::read_wal(path);
+  ASSERT_EQ(r.records.size(), 1u);
+  EXPECT_EQ(r.records[0].lsn, 3u);
+}
+
+TEST(PersistWal, NotAWalThrows) {
+  ScopedDir dir("wal-magic");
+  const std::string path = wal_file(dir.str());
+  write_file(path, "definitely not a wal file");
+  EXPECT_THROW(persist::read_wal(path), check_error);
+}
+
+TEST(PersistWal, MissingFileReadsAsEmptyLog) {
+  ScopedDir dir("wal-missing");
+  const persist::WalReadResult r = persist::read_wal(wal_file(dir.str()));
+  EXPECT_TRUE(r.records.empty());
+  EXPECT_EQ(r.next_lsn, 1u);
+  EXPECT_FALSE(r.torn_tail);
+}
+
+TEST(PersistWal, InjectedTearsRepairAndRetryDeterministically) {
+  ScopedDir dir("wal-inject");
+  const std::string path = wal_file(dir.str());
+  FaultConfig fc;
+  fc.seed = 42;
+  fc.set_rate(FaultSite::kWalAppend, 0.5);
+  fc.max_unit_attempts = 16;
+  FaultInjector injector(fc);
+  std::uint64_t faults = 0;
+  {
+    persist::WalWriter w(path, 1, false, 0, &injector, fc.max_unit_attempts);
+    for (int i = 0; i < 20; ++i) {
+      DeltaEdges d;
+      d.inserted = {{static_cast<VertexId>(i), static_cast<VertexId>(i + 1)}};
+      faults += w.append_update(static_cast<std::uint64_t>(i + 1), d).faults;
+    }
+  }
+  EXPECT_GT(faults, 0u);  // the 50% schedule must actually fire
+  const persist::WalReadResult r = persist::read_wal(path);
+  EXPECT_FALSE(r.torn_tail);  // every tear was repaired before the next frame
+  ASSERT_EQ(r.records.size(), 20u);
+  for (int i = 0; i < 20; ++i)
+    EXPECT_EQ(r.records[static_cast<std::size_t>(i)].lsn,
+              static_cast<std::uint64_t>(i + 1));
+}
+
+TEST(PersistWal, ExhaustedInjectionBudgetFailsClosed) {
+  ScopedDir dir("wal-exhaust");
+  const std::string path = wal_file(dir.str());
+  FaultConfig fc;
+  fc.set_rate(FaultSite::kWalAppend, 1.0);  // every attempt tears
+  fc.max_unit_attempts = 3;
+  FaultInjector injector(fc);
+  persist::WalWriter w(path, 1, false, 0, &injector, fc.max_unit_attempts);
+  DeltaEdges d;
+  d.inserted = {{0, 1}};
+  EXPECT_THROW(w.append_update(1, d), FaultInjectedError);
+  // Fail closed: the file holds no trace of the failed append.
+  EXPECT_EQ(fs::file_size(path), persist::kWalMagicSize);
+  const persist::WalReadResult r = persist::read_wal(path);
+  EXPECT_TRUE(r.records.empty());
+  EXPECT_FALSE(r.torn_tail);
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoints
+// ---------------------------------------------------------------------------
+
+persist::CheckpointData sample_checkpoint(std::uint64_t seq) {
+  persist::CheckpointData d;
+  d.seq = seq;
+  d.epoch = seq * 10;
+  d.last_lsn = seq * 100;
+  d.next_standing_id = 5;
+  d.graph = make_barabasi_albert(30, 2, static_cast<std::uint64_t>(seq));
+  persist::StandingEntry e;
+  e.id = 4;
+  e.pattern = triangle().to_string();
+  e.count = 12;
+  e.epoch = d.epoch;
+  d.standing.push_back(e);
+  return d;
+}
+
+TEST(PersistCheckpoint, EncodeDecodeRoundTrip) {
+  const persist::CheckpointData d = sample_checkpoint(3);
+  const persist::CheckpointData back =
+      persist::decode_checkpoint(persist::encode_checkpoint(d));
+  EXPECT_EQ(back.seq, d.seq);
+  EXPECT_EQ(back.epoch, d.epoch);
+  EXPECT_EQ(back.last_lsn, d.last_lsn);
+  EXPECT_EQ(back.next_standing_id, d.next_standing_id);
+  EXPECT_TRUE(graphs_equal(back.graph, d.graph));
+  ASSERT_EQ(back.standing.size(), 1u);
+  EXPECT_EQ(back.standing[0].id, 4u);
+  EXPECT_EQ(back.standing[0].pattern, d.standing[0].pattern);
+  EXPECT_EQ(back.standing[0].count, 12u);
+}
+
+TEST(PersistCheckpoint, GarbledBytesFailDecode) {
+  std::string bytes = persist::encode_checkpoint(sample_checkpoint(1));
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x40);
+  EXPECT_THROW(persist::decode_checkpoint(bytes), check_error);
+  std::string truncated =
+      persist::encode_checkpoint(sample_checkpoint(1));
+  truncated.resize(truncated.size() - 5);
+  EXPECT_THROW(persist::decode_checkpoint(truncated), check_error);
+}
+
+TEST(PersistCheckpoint, LoadFallsBackPastCorruptNewest) {
+  ScopedDir dir("ckpt-fallback");
+  persist::CheckpointStore store(dir.str(), false, nullptr, 1);
+  store.write(sample_checkpoint(1));
+  store.write(sample_checkpoint(2));
+  // Corrupt the newest file in place (a torn rename target / disk fault).
+  const std::string newest = store.path_for(2);
+  std::string bytes = read_file(newest);
+  bytes[bytes.size() - 3] = static_cast<char>(bytes[bytes.size() - 3] ^ 0xFF);
+  write_file(newest, bytes);
+
+  const persist::CheckpointLoadResult r = store.load_newest();
+  ASSERT_TRUE(r.data.has_value());
+  EXPECT_EQ(r.data->seq, 1u);
+  EXPECT_EQ(r.skipped_corrupt, 1u);
+}
+
+TEST(PersistCheckpoint, RetentionKeepsNewestTwo) {
+  ScopedDir dir("ckpt-retention");
+  persist::CheckpointStore store(dir.str(), false, nullptr, 1);
+  store.write(sample_checkpoint(1));
+  store.write(sample_checkpoint(2));
+  store.write(sample_checkpoint(3));
+  EXPECT_EQ(store.list(), (std::vector<std::uint64_t>{2, 3}));
+}
+
+TEST(PersistCheckpoint, ExhaustedInjectionBudgetLeavesPreviousSet) {
+  ScopedDir dir("ckpt-exhaust");
+  {
+    persist::CheckpointStore ok(dir.str(), false, nullptr, 1);
+    ok.write(sample_checkpoint(1));
+  }
+  FaultConfig fc;
+  fc.set_rate(FaultSite::kCheckpointWrite, 1.0);
+  fc.max_unit_attempts = 2;
+  FaultInjector injector(fc);
+  persist::CheckpointStore store(dir.str(), false, &injector,
+                                 fc.max_unit_attempts);
+  EXPECT_THROW(store.write(sample_checkpoint(2)), FaultInjectedError);
+  EXPECT_EQ(store.faults_injected(), 2u);
+  // No new checkpoint, no stray temp file, previous set intact.
+  EXPECT_EQ(store.list(), (std::vector<std::uint64_t>{1}));
+  for (const auto& entry : fs::directory_iterator(dir.str()))
+    EXPECT_EQ(entry.path().extension(), ".stmckpt") << entry.path();
+  const persist::CheckpointLoadResult r = store.load_newest();
+  ASSERT_TRUE(r.data.has_value());
+  EXPECT_EQ(r.data->seq, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Session recovery
+// ---------------------------------------------------------------------------
+
+TEST(PersistSession, FreshBootInstallsCheckpointAndRestoreWorks) {
+  ScopedDir dir("boot");
+  std::uint64_t triangles = 0;
+  {
+    GraphSession s(seed_graph(), persist_cfg(dir.str()));
+    EXPECT_FALSE(s.recovery_report().recovered);
+    triangles = count_triangles(s);
+  }
+  persist::CheckpointStore store(dir.str(), false, nullptr, 1);
+  EXPECT_EQ(store.list(), (std::vector<std::uint64_t>{1}));
+
+  // restore() needs no seed graph: the bootstrap checkpoint carries it.
+  auto s = GraphSession::restore(persist_cfg(dir.str()));
+  EXPECT_TRUE(s->recovery_report().checkpoint_loaded);
+  EXPECT_EQ(s->epoch(), 0u);
+  EXPECT_EQ(count_triangles(*s), triangles);
+}
+
+TEST(PersistSession, RestoreWithoutStateThrows) {
+  ScopedDir dir("restore-empty");
+  EXPECT_THROW(GraphSession::restore(persist_cfg(dir.str())), check_error);
+  SessionConfig no_persist;
+  EXPECT_THROW(GraphSession::restore(no_persist), check_error);
+}
+
+TEST(PersistSession, ReopenReplaysWalTail) {
+  ScopedDir dir("replay");
+  const Graph g = seed_graph();
+  std::uint64_t epoch = 0, triangles = 0;
+  {
+    GraphSession s(g, persist_cfg(dir.str()));
+    for (int k = 0; k < 5; ++k) {
+      const UpdateOutcome out = s.apply_updates(make_batch(k, 60));
+      ASSERT_TRUE(out.ok()) << out.error;
+      epoch = out.epoch;
+    }
+    triangles = count_triangles(s);
+  }
+  GraphSession s(g, persist_cfg(dir.str()));
+  EXPECT_TRUE(s.recovery_report().recovered);
+  EXPECT_EQ(s.recovery_report().replayed_batches, 5u);
+  EXPECT_EQ(s.epoch(), epoch);
+  EXPECT_EQ(count_triangles(s), triangles);
+  EXPECT_EQ(s.metrics().counter("recovery_replayed_batches").value(), 5u);
+
+  // The reopened session keeps appending where the log left off.
+  const UpdateOutcome out = s.apply_updates(make_batch(5, 60));
+  ASSERT_TRUE(out.ok()) << out.error;
+  EXPECT_EQ(out.epoch, epoch + 1);
+}
+
+TEST(PersistSession, CheckpointTruncatesWalAndShortensRecovery) {
+  ScopedDir dir("ckpt-truncate");
+  const Graph g = seed_graph();
+  std::uint64_t epoch = 0, triangles = 0;
+  {
+    GraphSession s(g, persist_cfg(dir.str()));
+    for (int k = 0; k < 4; ++k) s.apply_updates(make_batch(k, 60));
+    ASSERT_TRUE(s.checkpoint());
+    // Covered records are gone from the log...
+    EXPECT_TRUE(persist::read_wal(wal_file(dir.str())).records.empty());
+    const UpdateOutcome out = s.apply_updates(make_batch(4, 60));
+    ASSERT_TRUE(out.ok());
+    epoch = out.epoch;
+    triangles = count_triangles(s);
+  }
+  GraphSession s(g, persist_cfg(dir.str()));
+  // ...so recovery loads the checkpoint and replays only the one batch
+  // after it.
+  EXPECT_TRUE(s.recovery_report().checkpoint_loaded);
+  EXPECT_EQ(s.recovery_report().checkpoint_epoch, 4u);
+  EXPECT_EQ(s.recovery_report().replayed_batches, 1u);
+  EXPECT_EQ(s.epoch(), epoch);
+  EXPECT_EQ(count_triangles(s), triangles);
+}
+
+TEST(PersistSession, AutoCheckpointEveryNBatches) {
+  ScopedDir dir("auto-ckpt");
+  SessionConfig cfg = persist_cfg(dir.str());
+  cfg.persistence.checkpoint_every_batches = 2;
+  GraphSession s(seed_graph(), cfg);
+  for (int k = 0; k < 5; ++k) s.apply_updates(make_batch(k, 60));
+  // Bootstrap checkpoint + installs after batches 2 and 4.
+  EXPECT_EQ(s.metrics().counter("checkpoints_written").value(), 3u);
+  // Only batch 5 is left in the log.
+  EXPECT_EQ(persist::read_wal(wal_file(dir.str())).records.size(), 1u);
+}
+
+TEST(PersistSession, StandingQueriesSurviveRestartWithCountsIntact) {
+  ScopedDir dir("standing");
+  const Graph g = seed_graph();
+  std::uint64_t id = 0, doomed = 0, count = 0, epoch = 0;
+  {
+    GraphSession s(g, persist_cfg(dir.str()));
+    StandingQueryConfig sq;
+    sq.pattern = triangle();
+    sq.plan.count_mode = CountMode::kEmbeddings;
+    id = s.register_standing_query(sq);
+    doomed = s.register_standing_query(sq);
+    for (int k = 0; k < 3; ++k) s.apply_updates(make_batch(k, 60));
+    ASSERT_TRUE(s.unregister_standing_query(doomed));
+    for (int k = 3; k < 5; ++k) s.apply_updates(make_batch(k, 60));
+    const auto info = s.standing_query(id);
+    ASSERT_TRUE(info.has_value());
+    count = info->count;
+    epoch = info->epoch;
+  }
+  GraphSession s(g, persist_cfg(dir.str()));
+  EXPECT_EQ(s.recovery_report().replayed_registrations, 2u);
+  EXPECT_EQ(s.recovery_report().replayed_unregistrations, 1u);
+  const auto info = s.standing_query(id);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->count, count);
+  EXPECT_EQ(info->epoch, epoch);
+  EXPECT_EQ(info->batches_observed, 5u);
+  EXPECT_FALSE(s.standing_query(doomed).has_value());
+  // The restored count is the ground truth: it must equal a from-scratch
+  // full enumeration of the recovered graph.
+  EXPECT_EQ(info->count, count_triangles(s));
+  // And it keeps advancing exactly through post-recovery batches.
+  const UpdateOutcome out = s.apply_updates(make_batch(5, 60));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(s.standing_query(id)->count, count_triangles(s));
+}
+
+TEST(PersistSession, ResumeTokenSurvivesRestart) {
+  ScopedDir dir("resume");
+  const Graph g = seed_graph();
+
+  // Collect the full stream once for reference.
+  std::vector<Embedding> all;
+  {
+    GraphSession ref(g);
+    StreamRequest req;
+    req.query.pattern = triangle();
+    auto stream = ref.open_stream(std::move(req));
+    Embedding e;
+    while (stream->next(&e)) all.push_back(e);
+    ASSERT_TRUE(stream->result().ok());
+  }
+  ASSERT_GT(all.size(), 10u);
+
+  // First page against the persistent session, then kill the process state
+  // (destroy the session) and resume against a recovered one.
+  std::string token;
+  std::vector<Embedding> got;
+  {
+    GraphSession s(g, persist_cfg(dir.str()));
+    s.apply_updates(make_batch(0, 60));  // make the directory non-trivial
+    StreamRequest req;
+    req.query.pattern = triangle();
+    req.stream.limit = 5;
+    auto stream = s.open_stream(std::move(req));
+    Embedding e;
+    while (stream->next(&e)) got.push_back(e);
+    ASSERT_TRUE(stream->result().ok()) << stream->result().error;
+    token = stream->resume_token();
+    ASSERT_FALSE(token.empty());
+  }
+  {
+    auto s = GraphSession::restore(persist_cfg(dir.str()));
+    StreamRequest req;
+    req.query.pattern = triangle();
+    req.stream.resume_token = token;
+    auto stream = s->open_stream(std::move(req));
+    Embedding e;
+    while (stream->next(&e)) got.push_back(e);
+    ASSERT_TRUE(stream->result().ok()) << stream->result().error;
+  }
+
+  // The pre-kill prefix plus the post-restart drain is exactly the stream
+  // of the updated graph (which differs from `all`, so rebuild it).
+  std::vector<Embedding> expect;
+  {
+    GraphSession ref(g);
+    ref.apply_updates(make_batch(0, 60));
+    StreamRequest req;
+    req.query.pattern = triangle();
+    auto stream = ref.open_stream(std::move(req));
+    Embedding e;
+    while (stream->next(&e)) expect.push_back(e);
+  }
+  EXPECT_EQ(got, expect);
+}
+
+TEST(PersistSession, NoopAndFailedBatchesAreNotLogged) {
+  ScopedDir dir("noop");
+  const Graph g = seed_graph();
+  {
+    GraphSession s(g, persist_cfg(dir.str()));
+    ASSERT_TRUE(s.apply_updates(make_batch(0, 60)).ok());
+    // No-op: empty batch and an all-redundant batch bump nothing.
+    ASSERT_TRUE(s.apply_updates(UpdateBatch{}).ok());
+    UpdateBatch redundant;
+    redundant.insertions = make_batch(0, 60).insertions;  // already present
+    const UpdateOutcome out = s.apply_updates(redundant);
+    ASSERT_TRUE(out.ok());
+    EXPECT_TRUE(out.applied.empty());
+    // Invalid: rejected before the WAL hook.
+    UpdateBatch bad;
+    bad.insertions = {{0, 200}};  // out of range
+    EXPECT_EQ(s.apply_updates(bad).status, QueryStatus::kInvalidArgument);
+  }
+  EXPECT_EQ(persist::read_wal(wal_file(dir.str())).records.size(), 1u);
+
+  // Injected kUpdateApply failures never reach the log either.
+  ScopedDir dir2("fault-apply");
+  SessionConfig cfg = persist_cfg(dir2.str());
+  cfg.update_fault.set_rate(FaultSite::kUpdateApply, 1.0);
+  cfg.update_fault.max_unit_attempts = 1;
+  GraphSession s(g, cfg);
+  const UpdateOutcome out = s.apply_updates(make_batch(0, 60));
+  EXPECT_EQ(out.status, QueryStatus::kInternalError);
+  EXPECT_EQ(s.epoch(), 0u);
+  EXPECT_TRUE(persist::read_wal(wal_file(dir2.str())).records.empty());
+}
+
+TEST(PersistSession, WalExhaustionFailsTheBatchClosed) {
+  ScopedDir dir("wal-closed");
+  SessionConfig cfg = persist_cfg(dir.str());
+  cfg.persistence.fault.set_rate(FaultSite::kWalAppend, 1.0);
+  cfg.persistence.fault.max_unit_attempts = 2;
+  GraphSession s(seed_graph(), cfg);
+  const UpdateOutcome out = s.apply_updates(make_batch(0, 60));
+  EXPECT_EQ(out.status, QueryStatus::kInternalError);
+  // Not acknowledged, not published, not on disk: epoch unchanged and the
+  // log clean (the torn attempts were truncated away).
+  EXPECT_EQ(s.epoch(), 0u);
+  const persist::WalReadResult wal = persist::read_wal(wal_file(dir.str()));
+  EXPECT_TRUE(wal.records.empty());
+  EXPECT_FALSE(wal.torn_tail);
+
+  StandingQueryConfig sq;
+  sq.pattern = triangle();
+  EXPECT_THROW(s.register_standing_query(sq), FaultInjectedError);
+  EXPECT_FALSE(s.standing_query(1).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Kill-point matrix: recovery from every WAL prefix
+// ---------------------------------------------------------------------------
+
+struct KillScenario {
+  ScopedDir dir{"kill-matrix"};
+  Graph g = seed_graph();
+  std::uint64_t standing_id = 0;
+  /// expected[k]: (epoch, standing count if registered) after the first k
+  /// WAL records took effect. Record 1 is the registration, records 2..N+1
+  /// the batches.
+  struct Expect {
+    std::uint64_t epoch = 0;
+    bool has_standing = false;
+    std::uint64_t standing_count = 0;
+  };
+  std::vector<Expect> expected;
+  std::vector<persist::WalRecord> records;
+  std::string wal_bytes;
+
+  KillScenario() {
+    GraphSession s(g, persist_cfg(dir.str()));
+    expected.push_back({0, false, 0});
+    StandingQueryConfig sq;
+    sq.pattern = triangle();
+    sq.plan.count_mode = CountMode::kEmbeddings;
+    standing_id = s.register_standing_query(sq);
+    expected.push_back({0, true, s.standing_query(standing_id)->count});
+    for (int k = 0; k < 6; ++k) {
+      const UpdateOutcome out = s.apply_updates(make_batch(k, 60));
+      EXPECT_TRUE(out.ok()) << out.error;
+      expected.push_back(
+          {out.epoch, true, s.standing_query(standing_id)->count});
+    }
+    // Session destroyed cleanly here; the cuts below simulate the kills.
+    const persist::WalReadResult wal =
+        persist::read_wal(wal_file(dir.str()));
+    records = wal.records;
+    wal_bytes = read_file(wal_file(dir.str()));
+  }
+
+  /// Reopens from a copy of the state dir whose WAL is replaced by
+  /// `bytes`, and asserts the recovered state matches expected[prefix].
+  void check_cut(const std::string& bytes, std::size_t prefix,
+                 const std::string& what) {
+    ScopedDir scratch("kill-cut");
+    for (const auto& entry : fs::directory_iterator(dir.str()))
+      fs::copy(entry.path(), fs::path(scratch.str()) / entry.path().filename());
+    write_file(wal_file(scratch.str()), bytes);
+
+    GraphSession s(g, persist_cfg(scratch.str()));
+    const Expect& e = expected[prefix];
+    EXPECT_EQ(s.epoch(), e.epoch) << what;
+    const auto info = s.standing_query(standing_id);
+    EXPECT_EQ(info.has_value(), e.has_standing) << what;
+    if (info.has_value() && e.has_standing) {
+      EXPECT_EQ(info->count, e.standing_count) << what;
+      // The recovered count must equal a from-scratch enumeration of the
+      // recovered graph — the differential oracle for every cut point.
+      EXPECT_EQ(info->count, count_triangles(s)) << what;
+    }
+  }
+};
+
+TEST(PersistKillMatrix, EveryRecordBoundary) {
+  KillScenario sc;
+  ASSERT_EQ(sc.records.size(), 7u);  // 1 registration + 6 batches
+  sc.check_cut(sc.wal_bytes.substr(0, persist::kWalMagicSize), 0,
+               "cut after magic");
+  for (std::size_t i = 0; i < sc.records.size(); ++i) {
+    const auto& rec = sc.records[i];
+    const std::size_t end =
+        static_cast<std::size_t>(rec.file_offset + rec.frame_size);
+    sc.check_cut(sc.wal_bytes.substr(0, end), i + 1,
+                 "cut after record " + std::to_string(i + 1));
+  }
+}
+
+TEST(PersistKillMatrix, MidRecordTearsLoseOnlyTheTornRecord) {
+  KillScenario sc;
+  for (std::size_t i = 0; i < sc.records.size(); ++i) {
+    const auto& rec = sc.records[i];
+    const std::string what = "record " + std::to_string(i + 1);
+    // Torn mid-header: the length word itself is incomplete.
+    sc.check_cut(
+        sc.wal_bytes.substr(0, static_cast<std::size_t>(rec.file_offset) + 4),
+        i, what + " torn mid-header");
+    // Torn mid-payload.
+    sc.check_cut(sc.wal_bytes.substr(
+                     0, static_cast<std::size_t>(rec.file_offset) +
+                            static_cast<std::size_t>(rec.frame_size) / 2),
+                 i, what + " torn mid-payload");
+  }
+}
+
+TEST(PersistKillMatrix, GarbledRecordStopsReplayBeforeIt) {
+  KillScenario sc;
+  for (std::size_t i = 0; i < sc.records.size(); ++i) {
+    const auto& rec = sc.records[i];
+    std::string bytes = sc.wal_bytes;
+    const std::size_t victim = static_cast<std::size_t>(
+        rec.file_offset + rec.frame_size - 1);  // last payload byte
+    bytes[victim] = static_cast<char>(bytes[victim] ^ 0x5A);
+    // A garbled frame fails its crc; replay keeps the prefix before it and
+    // discards it plus everything after (order is only defined by the log).
+    sc.check_cut(bytes, i, "record " + std::to_string(i + 1) + " garbled");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Chaos tier: live durability under >= 10% injection on both sites
+// ---------------------------------------------------------------------------
+
+TEST(PersistChaos, DurabilityHoldsUnderInjectedTornWrites) {
+  ScopedDir dir("chaos");
+  const Graph g = seed_graph();
+
+  SessionConfig cfg = persist_cfg(dir.str());
+  cfg.persistence.checkpoint_every_batches = 3;
+  cfg.persistence.fault.seed = 11;
+  cfg.persistence.fault.set_rate(FaultSite::kWalAppend, 0.15);
+  cfg.persistence.fault.set_rate(FaultSite::kCheckpointWrite, 0.25);
+  cfg.persistence.fault.max_unit_attempts = 16;
+
+  // No-injection oracle advanced in lockstep.
+  GraphSession oracle(g);
+  StandingQueryConfig osq;
+  osq.pattern = triangle();
+  osq.plan.count_mode = CountMode::kEmbeddings;
+  const std::uint64_t oracle_id = oracle.register_standing_query(osq);
+
+  std::uint64_t id = 0;
+  {
+    GraphSession s(g, cfg);
+    StandingQueryConfig sq;
+    sq.pattern = triangle();
+    sq.plan.count_mode = CountMode::kEmbeddings;
+    id = s.register_standing_query(sq);
+    for (int k = 0; k < 12; ++k) {
+      const UpdateOutcome out = s.apply_updates(make_batch(k, 60));
+      ASSERT_TRUE(out.ok()) << "batch " << k << ": " << out.error;
+      const UpdateOutcome oout = oracle.apply_updates(make_batch(k, 60));
+      ASSERT_TRUE(oout.ok());
+      ASSERT_EQ(out.epoch, oout.epoch);
+      ASSERT_EQ(out.applied, oout.applied);
+    }
+    // The schedule must actually have fired for this test to mean anything.
+    EXPECT_GT(s.metrics().counter("faults_injected_total").value(), 0u);
+    EXPECT_EQ(s.standing_query(id)->count,
+              oracle.standing_query(oracle_id)->count);
+  }
+
+  // Reopen after the chaos run: bit-identical epoch and counts.
+  auto s = GraphSession::restore(cfg);
+  EXPECT_EQ(s->epoch(), oracle.epoch());
+  ASSERT_TRUE(s->standing_query(id).has_value());
+  EXPECT_EQ(s->standing_query(id)->count,
+            oracle.standing_query(oracle_id)->count);
+  EXPECT_EQ(count_triangles(*s), count_triangles(oracle));
+
+  // And the recovered session still advances in lockstep.
+  const UpdateOutcome out = s->apply_updates(make_batch(12, 60));
+  const UpdateOutcome oout = oracle.apply_updates(make_batch(12, 60));
+  ASSERT_TRUE(out.ok()) << out.error;
+  ASSERT_TRUE(oout.ok());
+  EXPECT_EQ(out.epoch, oout.epoch);
+  EXPECT_EQ(s->standing_query(id)->count,
+            oracle.standing_query(oracle_id)->count);
+}
+
+TEST(PersistChaos, CheckpointExhaustionDegradesToWalOnly) {
+  ScopedDir dir("chaos-ckpt");
+  SessionConfig cfg = persist_cfg(dir.str());
+  cfg.persistence.checkpoint_every_batches = 2;
+  cfg.persistence.fault.set_rate(FaultSite::kCheckpointWrite, 1.0);
+  cfg.persistence.fault.max_unit_attempts = 2;
+
+  std::uint64_t epoch = 0, triangles = 0;
+  {
+    GraphSession s(seed_graph(), cfg);
+    for (int k = 0; k < 4; ++k) {
+      const UpdateOutcome out = s.apply_updates(make_batch(k, 60));
+      ASSERT_TRUE(out.ok()) << out.error;  // updates survive failed installs
+      epoch = out.epoch;
+    }
+    EXPECT_EQ(s.metrics().counter("checkpoints_written").value(), 0u);
+    EXPECT_GE(s.metrics().counter("checkpoint_failures").value(), 2u);
+    triangles = count_triangles(s);
+  }
+  // No checkpoint was ever installed, so the whole history is in the WAL;
+  // recovery replays it from the seed.
+  GraphSession s(seed_graph(), cfg);
+  EXPECT_FALSE(s.recovery_report().checkpoint_loaded);
+  EXPECT_EQ(s.recovery_report().replayed_batches, 4u);
+  EXPECT_EQ(s.epoch(), epoch);
+  EXPECT_EQ(count_triangles(s), triangles);
+}
+
+}  // namespace
+}  // namespace stm

@@ -4,7 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "baselines/reference.hpp"
@@ -287,6 +289,81 @@ TEST(StreamCursor, MalformedTokensAreRejected) {
   }
 }
 
+// Stale and malformed tokens are distinguishable from the error text alone:
+// stale tokens name the expected and observed epoch / fingerprint, malformed
+// ones echo the expected layout.
+
+TEST(StreamTokens, StaleEpochErrorNamesBothEpochs) {
+  GraphSession session(make_erdos_renyi(36, 0.2, 5));
+  StreamRequest req = stream_request(triangle());
+  req.stream.limit = 3;
+  QueryResult r;
+  std::string token;
+  drain(session, req, &r, &token);
+  ASSERT_FALSE(token.empty());
+
+  // Toggle an edge so the batch is guaranteed effective (redundant updates
+  // are no-ops and would not advance the epoch).
+  UpdateBatch batch;
+  if (session.snapshot()->has_edge(0, 1))
+    batch.deletions.emplace_back(0, 1);
+  else
+    batch.insertions.emplace_back(0, 1);
+  ASSERT_TRUE(session.apply_updates(std::move(batch)).ok());
+  ASSERT_EQ(session.epoch(), 1u);
+
+  StreamRequest rest = stream_request(triangle());
+  rest.stream.resume_token = token;
+  drain(session, rest, &r);
+  ASSERT_EQ(r.status, QueryStatus::kInvalidArgument);
+  EXPECT_NE(r.error.find("stale resume token"), std::string::npos) << r.error;
+  EXPECT_NE(r.error.find("epoch 0"), std::string::npos) << r.error;
+  EXPECT_NE(r.error.find("epoch 1"), std::string::npos) << r.error;
+  EXPECT_NE(r.error.find("moved on"), std::string::npos) << r.error;
+  // Specifically NOT reported as malformed: the token is fine, the graph
+  // changed underneath it.
+  EXPECT_EQ(r.error.find("malformed"), std::string::npos) << r.error;
+}
+
+TEST(StreamTokens, FingerprintMismatchErrorNamesBothFingerprints) {
+  GraphSession session(make_erdos_renyi(36, 0.2, 5));
+  StreamRequest req = stream_request(triangle());
+  req.stream.limit = 3;
+  QueryResult r;
+  std::string token;
+  drain(session, req, &r, &token);
+  ASSERT_FALSE(token.empty());
+  // The token's own fingerprint field (3rd dot-separated field, hex).
+  const std::size_t a = token.find('.', token.find('.') + 1);
+  const std::string issued_fp =
+      token.substr(a + 1, token.find('.', a + 1) - a - 1);
+
+  StreamRequest other = stream_request(square());
+  other.stream.resume_token = token;
+  drain(session, other, &r);
+  ASSERT_EQ(r.status, QueryStatus::kInvalidArgument);
+  EXPECT_NE(r.error.find("stale resume token"), std::string::npos) << r.error;
+  EXPECT_NE(r.error.find(issued_fp), std::string::npos) << r.error;
+  EXPECT_NE(r.error.find("different pattern or plan options"),
+            std::string::npos)
+      << r.error;
+}
+
+TEST(StreamTokens, MalformedErrorEchoesExpectedLayoutAndToken) {
+  GraphSession session(make_clique(6));
+  StreamRequest req = stream_request(triangle());
+  req.stream.resume_token = "stm1.not-a-number";
+  QueryResult r;
+  drain(session, req, &r);
+  ASSERT_EQ(r.status, QueryStatus::kInvalidArgument);
+  EXPECT_NE(r.error.find("malformed resume token"), std::string::npos)
+      << r.error;
+  EXPECT_NE(r.error.find("stm1.<epoch>.<fingerprint>.<v0>.<skip>.<total>"),
+            std::string::npos)
+      << r.error;
+  EXPECT_NE(r.error.find("stm1.not-a-number"), std::string::npos) << r.error;
+}
+
 TEST(StreamCursor, RangeKnobsAreReservedForTheStream) {
   GraphSession session(make_clique(6));
   StreamRequest req = stream_request(triangle());
@@ -564,6 +641,42 @@ TEST(StreamStanding, OnDeltaRequiresEmbeddingCountMode) {
 // ---------------------------------------------------------------------------
 // Differential: the oracle's stream lane over fuzz cases
 // ---------------------------------------------------------------------------
+
+// Session teardown vs. live consumers: handles legally outlive the session.
+// The destructor's shutting_down_ sweep aborts and finalizes every open
+// stream, so consumer threads looping next() on their own handles must
+// observe a clean terminal stream — never a crash or a read of freed
+// session state. Run under TSan in CI (the tsan job's -R regex matches
+// "Stream").
+TEST(StreamTeardownRace, DestroyingTheSessionUnderLiveConsumersIsClean) {
+  for (int round = 0; round < 8; ++round) {
+    auto session = std::make_unique<GraphSession>(
+        make_erdos_renyi(64, 0.25, 100 + round));
+    constexpr int kConsumers = 4;
+    std::vector<std::unique_ptr<EmbeddingStream>> handles;
+    for (int i = 0; i < kConsumers; ++i) {
+      StreamRequest req = stream_request(triangle());
+      req.stream.max_buffered = 1;  // keep the producer handing off slowly
+      handles.push_back(session->open_stream(std::move(req)));
+    }
+    std::vector<std::thread> consumers;
+    consumers.reserve(kConsumers);
+    for (int i = 0; i < kConsumers; ++i) {
+      consumers.emplace_back([&handles, i] {
+        Embedding e;
+        while (handles[i]->next(&e)) {
+        }
+        // Either the stream drained normally or the sweep cancelled it;
+        // both are terminal, and result() must be safe after teardown.
+        const QueryResult r = handles[i]->result();
+        STM_CHECK(r.status == QueryStatus::kOk ||
+                  r.status == QueryStatus::kCancelled);
+      });
+    }
+    session.reset();  // race the sweep against the consumers
+    for (std::thread& t : consumers) t.join();
+  }
+}
 
 TEST(StreamDifferential, OracleStreamLaneAgreesOnFuzzCases) {
   harness::WorkloadOptions wopts;
