@@ -18,6 +18,7 @@ const char* to_string(FaultSite site) {
     case FaultSite::kEmitDrop: return "emit_drop";
     case FaultSite::kWalAppend: return "wal_append";
     case FaultSite::kCheckpointWrite: return "checkpoint_write";
+    case FaultSite::kPageRead: return "page_read";
   }
   return "unknown";
 }

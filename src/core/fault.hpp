@@ -44,8 +44,12 @@ enum class FaultSite : std::uint8_t {
   kCheckpointWrite, // a checkpoint temp file is written torn/garbled; the
                     // writer discards it and retries, failing closed on
                     // exhaustion (the WAL keeps full durability meanwhile)
+  kPageRead,        // a spill-tier page read returns short or garbled bytes;
+                    // the length/CRC check rejects the frame and the pager
+                    // retries with a bumped attempt key, failing closed on
+                    // exhaustion (no corrupt page is ever served)
 };
-inline constexpr std::size_t kNumFaultSites = 12;
+inline constexpr std::size_t kNumFaultSites = 13;
 
 const char* to_string(FaultSite site);
 

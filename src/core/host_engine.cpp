@@ -70,12 +70,22 @@ HostMatchResult host_match(GraphView g, const MatchingPlan& plan,
   std::mutex retry_mu;
   std::deque<RetryChunk> retry;
 
+  // A worker that throws (e.g. a fail-closed storage decode: an exhausted
+  // spill-page retry budget surfaces as check_error from neighbors()) must
+  // not take the process down. The first exception is captured, every other
+  // worker is stopped, and the caller's thread rethrows after the join — so
+  // the service's engine-call boundary sees it like any single-threaded
+  // engine throw.
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+
   Timer timer;
   {
     std::vector<std::thread> workers;
     workers.reserve(threads);
     for (std::size_t t = 0; t < threads; ++t) {
       workers.emplace_back([&, t] {
+        try {
         // Dynamic chunk claiming is the host-side analogue of the warp-level
         // chunk grabbing in the SIMT engine.
         CancelPoller poller(cancel);
@@ -208,10 +218,23 @@ HostMatchResult host_match(GraphView g, const MatchingPlan& plan,
           if (cancel != nullptr) cancel->report_progress();
         }
         if (sink != nullptr) flush_pending(/*blocking=*/true);
+        } catch (...) {
+          {
+            std::lock_guard<std::mutex> lock(error_mu);
+            if (!first_error) first_error = std::current_exception();
+          }
+          // Stop the other workers promptly (same fast-path flag the
+          // attempt-budget exhaustion uses) and disable emission so their
+          // exit flushes drop instead of blocking on a stream that can no
+          // longer complete.
+          budget_exhausted.store(true, std::memory_order_relaxed);
+          emit_stop.store(true, std::memory_order_relaxed);
+        }
       });
     }
     for (auto& w : workers) w.join();
   }
+  if (first_error) std::rethrow_exception(first_error);
 
   HostMatchResult result;
   result.stats.engine_ms = timer.elapsed_ms();

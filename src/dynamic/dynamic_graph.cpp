@@ -39,6 +39,16 @@ void sorted_erase(std::vector<VertexId>& list, VertexId v) {
 
 }  // namespace
 
+std::uint64_t GraphSnapshot::memory_bytes() const {
+  std::uint64_t total = store_ != nullptr ? store_->stats().resident_bytes
+                                          : base_->memory_bytes();
+  total += slot_of_.capacity() * sizeof(std::int32_t);
+  for (const auto* tables : {&merged_, &adds_, &dels_})
+    for (const auto& list : *tables)
+      total += list.capacity() * sizeof(VertexId) + sizeof(list);
+  return total;
+}
+
 Graph GraphSnapshot::compacted() const {
   GraphBuilder builder(num_vertices());
   const GraphView g = view();
@@ -50,10 +60,14 @@ Graph GraphSnapshot::compacted() const {
   return out;
 }
 
-MutableGraph::MutableGraph(Graph base, std::uint64_t start_epoch)
-    : seed_(std::make_shared<const Graph>(std::move(base))) {
+MutableGraph::MutableGraph(Graph base, std::uint64_t start_epoch,
+                           storage::StoragePolicy storage)
+    : seed_(std::make_shared<const Graph>(std::move(base))),
+      storage_policy_(std::move(storage)) {
   auto snap = std::make_shared<GraphSnapshot>(GraphSnapshot{});
   snap->base_ = seed_;
+  if (storage_policy_.backend != storage::Backend::kUncompressed)
+    snap->store_ = storage::GraphStore::build(seed_, storage_policy_);
   snap->epoch_ = start_epoch;
   snap->num_edges_ = seed_->num_edges();
   snap->slot_of_.assign(seed_->num_vertices(), -1);
@@ -119,6 +133,7 @@ ApplyResult MutableGraph::apply(
   // only after the whole batch (and the fault check) succeeded.
   auto next = std::make_shared<GraphSnapshot>(GraphSnapshot{});
   next->base_ = cur.base_;
+  next->store_ = cur.store_;  // base unchanged: successor shares the backend
   next->epoch_ = cur.epoch_ + 1;
   next->num_edges_ = cur.num_edges_ + result.applied.inserted.size() -
                      result.applied.deleted.size();
@@ -201,7 +216,9 @@ std::shared_ptr<const GraphSnapshot> MutableGraph::compact() {
   if (cur.delta_from_base_.empty()) return current_;  // already compact
   auto base = std::make_shared<const Graph>(cur.compacted());
   auto next = std::make_shared<GraphSnapshot>(GraphSnapshot{});
-  next->base_ = std::move(base);
+  next->base_ = base;
+  if (storage_policy_.backend != storage::Backend::kUncompressed)
+    next->store_ = storage::GraphStore::build(base, storage_policy_);
   next->epoch_ = cur.epoch_;  // same logical graph, same epoch
   next->num_edges_ = cur.num_edges_;
   next->slot_of_.assign(cur.num_vertices(), -1);

@@ -26,6 +26,7 @@
 #include "core/fault.hpp"
 #include "graph/graph.hpp"
 #include "graph/view.hpp"
+#include "storage/store.hpp"
 
 namespace stm {
 
@@ -67,8 +68,14 @@ class GraphSnapshot {
  public:
   /// The engines' adjacency interface over this version. The view borrows
   /// this snapshot's tables: keep the snapshot (shared_ptr) alive while any
-  /// engine run uses the view.
-  GraphView view() const { return GraphView(GraphView(*base_), slot_of_.data(), &merged_); }
+  /// engine run uses the view. When a storage backend is attached, clean
+  /// vertices read through it (compressed / bitset / spill) and dirty
+  /// vertices read their merged lists — engines can't tell the difference.
+  GraphView view() const {
+    const GraphView base_view =
+        store_ != nullptr ? store_->view() : GraphView(*base_);
+    return GraphView(base_view, slot_of_.data(), &merged_);
+  }
 
   std::uint64_t epoch() const { return epoch_; }
   VertexId num_vertices() const { return base_->num_vertices(); }
@@ -84,6 +91,21 @@ class GraphSnapshot {
   /// The CSR this version layers over.
   const Graph& base() const { return *base_; }
 
+  /// The storage backend serving clean-vertex adjacency (null = raw CSR).
+  const std::shared_ptr<const storage::GraphStore>& store() const {
+    return store_;
+  }
+
+  /// Pins the store's decoded-list cache for the duration of an engine run
+  /// over view(); a no-op lease when no store is attached.
+  storage::GraphStore::Lease storage_lease() const {
+    return store_ != nullptr ? store_->lease() : storage::GraphStore::Lease();
+  }
+
+  /// Resident bytes of this version's base representation (store or CSR)
+  /// plus the per-vertex delta tables.
+  std::uint64_t memory_bytes() const;
+
   /// Materializes a standalone CSR Graph equal to this version (labels
   /// preserved). This is the reference side of the differential tests.
   Graph compacted() const;
@@ -93,6 +115,7 @@ class GraphSnapshot {
   GraphSnapshot() = default;
 
   std::shared_ptr<const Graph> base_;
+  std::shared_ptr<const storage::GraphStore> store_;  // null = raw CSR base
   std::uint64_t epoch_ = 0;
   EdgeId num_edges_ = 0;
   /// slot_of_[v] >= 0: v is dirty and merged_[slot] is its full merged
@@ -120,8 +143,11 @@ class MutableGraph {
  public:
   /// `start_epoch` seeds the version counter; crash recovery constructs the
   /// graph at its checkpointed epoch so replayed batches reproduce the exact
-  /// epoch sequence of the uninterrupted run.
-  explicit MutableGraph(Graph base, std::uint64_t start_epoch = 0);
+  /// epoch sequence of the uninterrupted run. `storage` selects the backend
+  /// serving clean-vertex adjacency (default: raw CSR); compact() re-encodes
+  /// the folded graph under the same policy.
+  explicit MutableGraph(Graph base, std::uint64_t start_epoch = 0,
+                        storage::StoragePolicy storage = {});
 
   /// The current version.
   std::shared_ptr<const GraphSnapshot> snapshot() const;
@@ -156,8 +182,14 @@ class MutableGraph {
   /// FaultInjectedError after batch validation, before publication).
   void set_fault(const FaultConfig& cfg);
 
+  /// The storage policy snapshots are built under.
+  const storage::StoragePolicy& storage_policy() const {
+    return storage_policy_;
+  }
+
  private:
   std::shared_ptr<const Graph> seed_;
+  storage::StoragePolicy storage_policy_;
   mutable std::mutex mu_;
   std::shared_ptr<const GraphSnapshot> current_;
   std::optional<FaultInjector> injector_;

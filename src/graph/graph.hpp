@@ -56,6 +56,15 @@ class Graph {
 
   EdgeId max_degree() const;
 
+  /// Resident heap footprint of the CSR arrays in bytes (capacity, not size:
+  /// what the allocator actually holds). Feeds the spill tier's budget
+  /// comparisons and the service's graph_resident_bytes gauge.
+  std::uint64_t memory_bytes() const {
+    return static_cast<std::uint64_t>(row_ptr_.capacity()) * sizeof(EdgeId) +
+           static_cast<std::uint64_t>(col_idx_.capacity()) * sizeof(VertexId) +
+           static_cast<std::uint64_t>(labels_.capacity()) * sizeof(Label);
+  }
+
   const std::vector<EdgeId>& row_ptr() const { return row_ptr_; }
   const std::vector<VertexId>& col_idx() const { return col_idx_; }
   const std::vector<Label>& labels() const { return labels_; }

@@ -1,16 +1,21 @@
 // Snapshot-backed adjacency view.
 //
 // GraphView is the adjacency interface the engines execute against: a
-// non-owning handle over a base CSR plus up to two override layers that remap
-// individual vertices to externally owned merged neighbor lists. A plain
-// Graph converts implicitly (no overrides), so every existing engine call
-// site keeps working; the dynamic-graph subsystem builds views whose dirty
-// vertices read base-plus-delta adjacency without rebuilding the CSR
-// (GraphSnapshot = layer 1, a transient DeltaOverlay = layer 0 on top).
+// non-owning handle over a base adjacency provider plus up to two override
+// layers that remap individual vertices to externally owned merged neighbor
+// lists. The base is either a raw CSR (a plain Graph converts implicitly, so
+// every existing engine call site keeps working) or an AdjacencySource — the
+// seam the storage subsystem plugs compressed / bitset / spill backends into
+// without any engine knowing which representation it is reading.
 //
-// A view is valid only while its backing storage (the Graph, and the
-// snapshot/overlay that owns the override tables) stays alive; views are
-// cheap value types meant to be created per engine run.
+// The dynamic-graph subsystem builds views whose dirty vertices read
+// base-plus-delta adjacency without rebuilding the CSR (GraphSnapshot =
+// layer 1, a transient DeltaOverlay = layer 0 on top).
+//
+// A view is valid only while its backing storage (the Graph or
+// AdjacencySource, and the snapshot/overlay that owns the override tables)
+// stays alive; views are cheap value types meant to be created per engine
+// run.
 #pragma once
 
 #include <algorithm>
@@ -22,6 +27,28 @@
 #include "util/check.hpp"
 
 namespace stm {
+
+/// Abstract adjacency provider a GraphView can read instead of a raw CSR.
+/// Implementations must return sorted-ascending neighbor spans that stay
+/// valid for the lifetime of the source (or, for storage backends, for the
+/// duration of an outstanding decode lease — see src/storage/store.hpp).
+class AdjacencySource {
+ public:
+  virtual ~AdjacencySource() = default;
+
+  virtual VertexId source_num_vertices() const = 0;
+  /// Sorted neighbor list of v. May decode/materialize on first access.
+  virtual std::span<const VertexId> source_neighbors(VertexId v) const = 0;
+  /// Degree without materializing the list.
+  virtual EdgeId source_degree(VertexId v) const = 0;
+  /// Adjacency test without materializing the list (bitset probe or
+  /// anchored seek on compressed backends).
+  virtual bool source_has_edge(VertexId u, VertexId v) const = 0;
+  /// Directed adjacency entries (2 x undirected edges).
+  virtual EdgeId source_num_adjacency_entries() const = 0;
+  /// Raw label array (nullptr when unlabeled).
+  virtual const Label* source_labels() const = 0;
+};
 
 class GraphView {
  public:
@@ -42,6 +69,12 @@ class GraphView {
         labels_(g.is_labeled() ? g.labels().data() : nullptr),
         n_(g.num_vertices()) {}
 
+  /// A view over an abstract adjacency source (storage backend).
+  explicit GraphView(const AdjacencySource& src)
+      : labels_(src.source_labels()),
+        n_(src.source_num_vertices()),
+        source_(&src) {}
+
   /// Stacks an override layer on top of `base`. At most two layers deep: an
   /// overlay over a snapshot view is the deepest supported composition.
   GraphView(const GraphView& base, const std::int32_t* slots,
@@ -51,7 +84,8 @@ class GraphView {
         labels_(base.labels_),
         n_(base.n_),
         inner_{slots, lists},
-        outer_(base.inner_) {
+        outer_(base.inner_),
+        source_(base.source_) {
     STM_CHECK_MSG(!base.outer_.active(),
                   "GraphView supports at most two override layers");
   }
@@ -75,14 +109,26 @@ class GraphView {
         return {l.data(), l.size()};
       }
     }
+    if (source_ != nullptr) return source_->source_neighbors(v);
     return {col_idx_ + row_ptr_[v],
             static_cast<std::size_t>(row_ptr_[v + 1] - row_ptr_[v])};
   }
 
-  EdgeId degree(VertexId v) const { return neighbors(v).size(); }
+  /// Degree of v; on a storage-backed base this avoids materializing the
+  /// neighbor list.
+  EdgeId degree(VertexId v) const {
+    STM_CHECK(v < n_);
+    if (overridden(v) || source_ == nullptr) return neighbors(v).size();
+    return source_->source_degree(v);
+  }
 
-  /// O(log deg) adjacency test.
+  /// Adjacency test: O(log deg) on raw/override lists; O(1) bitset probe or
+  /// anchored seek on storage-backed bases.
   bool has_edge(VertexId u, VertexId v) const {
+    STM_CHECK(u < n_);
+    if (source_ != nullptr && !overridden(u)) {
+      return source_->source_has_edge(u, v);
+    }
     const auto nbrs = neighbors(u);
     return std::binary_search(nbrs.begin(), nbrs.end(), v);
   }
@@ -104,19 +150,31 @@ class GraphView {
 
   /// Directed adjacency entries (2 x undirected edges); O(n) when overridden.
   EdgeId num_adjacency_entries() const {
-    if (!inner_.active() && !outer_.active() && n_ > 0) return row_ptr_[n_];
+    if (!inner_.active() && !outer_.active()) {
+      if (source_ != nullptr) return source_->source_num_adjacency_entries();
+      if (n_ > 0) return row_ptr_[n_];
+    }
     EdgeId total = 0;
     for (VertexId v = 0; v < n_; ++v) total += degree(v);
     return total;
   }
 
+  /// The storage backend this view reads through (nullptr = raw CSR).
+  const AdjacencySource* adjacency_source() const { return source_; }
+
  private:
+  bool overridden(VertexId v) const {
+    return (inner_.active() && inner_.slots[v] >= 0) ||
+           (outer_.active() && outer_.slots[v] >= 0);
+  }
+
   const EdgeId* row_ptr_ = nullptr;
   const VertexId* col_idx_ = nullptr;
   const Label* labels_ = nullptr;
   VertexId n_ = 0;
   OverrideLayer inner_;  // consulted first (newest deltas)
   OverrideLayer outer_;
+  const AdjacencySource* source_ = nullptr;  // consulted after overrides
 };
 
 }  // namespace stm

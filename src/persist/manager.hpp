@@ -42,6 +42,9 @@ struct PersistenceConfig {
   /// Install a checkpoint automatically after this many applied batches;
   /// 0 = only explicit GraphSession::checkpoint() calls.
   std::uint32_t checkpoint_every_batches = 0;
+  /// Serialize checkpoint graphs delta/varint-compressed (storage encoding).
+  /// Recovery accepts both formats regardless of this flag.
+  bool compressed_checkpoints = false;
   /// Chaos schedule for FaultSite::kWalAppend / kCheckpointWrite.
   FaultConfig fault;
 

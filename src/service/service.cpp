@@ -103,7 +103,7 @@ std::unique_ptr<GraphSession> GraphSession::restore(SessionConfig cfg) {
 }
 
 GraphSession::GraphSession(Boot boot)
-    : dyn_(std::move(boot.graph), boot.start_epoch),
+    : dyn_(std::move(boot.graph), boot.start_epoch, boot.cfg.storage),
       cfg_(std::move(boot.cfg)),
       plan_cache_(cfg_.plan_cache_capacity),
       queries_submitted_(metrics_.counter(
@@ -162,6 +162,12 @@ GraphSession::GraphSession(Boot boot)
       recovery_replayed_batches_(metrics_.counter(
           "recovery_replayed_batches",
           "Update batches replayed from the WAL at session construction")),
+      storage_page_faults_(metrics_.counter(
+          "storage_page_faults_total",
+          "Spill-tier page-cache misses (pages fetched from disk)")),
+      storage_decode_ops_(metrics_.counter(
+          "storage_decode_ops_total",
+          "Adjacency lists decoded from a compressed storage backend")),
       inflight_(metrics_.gauge("inflight_queries", "Queries executing now")),
       queue_depth_(metrics_.gauge("queue_depth", "Queries waiting to start")),
       cache_hit_rate_(metrics_.gauge("plan_cache_hit_rate",
@@ -181,6 +187,15 @@ GraphSession::GraphSession(Boot boot)
           metrics_.gauge("open_streams", "Embedding streams open now")),
       recovery_ms_(metrics_.gauge(
           "recovery_ms", "Wall time of crash recovery at construction")),
+      storage_resident_bytes_(metrics_.gauge(
+          "storage_resident_bytes",
+          "Bytes the storage backend holds in memory now")),
+      graph_resident_bytes_(metrics_.gauge(
+          "graph_resident_bytes",
+          "Resident bytes of the current graph version (backend + overlays)")),
+      compression_ratio_(metrics_.gauge(
+          "compression_ratio",
+          "Raw CSR bytes over encoded bytes (1 when uncompressed)")),
       latency_ms_(metrics_.histogram("query_latency_ms",
                                      "Submission-to-completion latency")),
       queue_wait_ms_(metrics_.histogram("queue_wait_ms",
@@ -283,6 +298,37 @@ GraphSession::GraphSession(Boot boot)
       STM_CHECK(cfg_.sharding.fault.max_unit_attempts >= 1);
     rebuild_shards(dyn_.snapshot(), nullptr);
   }
+  refresh_storage_metrics();
+}
+
+void GraphSession::refresh_storage_metrics() {
+  const std::shared_ptr<const GraphSnapshot> snap = dyn_.snapshot();
+  graph_resident_bytes_.set(static_cast<double>(snap->memory_bytes()));
+  const std::shared_ptr<const storage::GraphStore>& store = snap->store();
+  if (store == nullptr) {
+    storage_resident_bytes_.set(0.0);
+    compression_ratio_.set(1.0);
+    return;
+  }
+  // Decoded lists are per-run working memory; reclaim them once they exceed
+  // the policy budget. A trim racing a running query is a no-op (the lease
+  // blocks it) and the cache shrinks at the next refresh instead.
+  const std::uint64_t budget = cfg_.storage.memory_budget_bytes;
+  if (budget > 0 && store->stats().decoded_cache_bytes > budget)
+    store->trim_decoded();
+  const storage::StorageStats st = store->stats();
+  storage_resident_bytes_.set(static_cast<double>(st.resident_bytes));
+  compression_ratio_.set(st.compression_ratio);
+  // Store counters are cumulative per-store and restart from zero when
+  // compact() swaps in a rebuilt backend; fold only the increments into the
+  // monotone session counters.
+  std::lock_guard<std::mutex> lock(storage_metrics_mu_);
+  if (st.page_faults < storage_page_faults_seen_) storage_page_faults_seen_ = 0;
+  storage_page_faults_.inc(st.page_faults - storage_page_faults_seen_);
+  storage_page_faults_seen_ = st.page_faults;
+  if (st.decode_ops < storage_decode_ops_seen_) storage_decode_ops_seen_ = 0;
+  storage_decode_ops_.inc(st.decode_ops - storage_decode_ops_seen_);
+  storage_decode_ops_seen_ = st.decode_ops;
 }
 
 GraphSession::~GraphSession() {
@@ -495,6 +541,9 @@ QueryResult GraphSession::execute_engine(EngineKind kind,
     // built from; a query racing an update's partition refresh falls back to
     // the unsharded path for its pinned snapshot instead.
     if (state != nullptr && state->snapshot->epoch() == snap.epoch()) {
+      // The partition's snapshot can predate a compact() (same epoch, its
+      // own backend), so it needs its own lease.
+      const auto shard_lease = state->snapshot->storage_lease();
       const auto matcher = sharded_matcher(kind, req);
       const dist::ShardedResult r = matcher->match(
           state->snapshot->view(), *state->partition, plan, attempt, &token);
@@ -695,6 +744,9 @@ void GraphSession::execute(QueryJob& job) {
       // retries and fallbacks all see one consistent snapshot even while a
       // writer publishes newer epochs concurrently.
       const std::shared_ptr<const GraphSnapshot> snap = dyn_.snapshot();
+      // Neighbor spans a compressed backend hands out stay valid while this
+      // lease is held (the decode cache cannot be trimmed under the query).
+      const auto storage_lease = snap->storage_lease();
       auto plan = plan_cache_.get_or_compile(job.req.pattern, job.req.plan,
                                              snap->epoch(), &cache_hit);
       result = execute_resilient(job.req, *plan, *snap, job.token);
@@ -755,6 +807,7 @@ void GraphSession::execute(QueryJob& job) {
   engine_scalar_ops_.inc(result.stats.scalar_ops);
   faults_injected_total_.inc(result.stats.faults_injected);
   recovery_units_total_.inc(result.stats.units_recovered);
+  refresh_storage_metrics();  // the query's lease is released by now
   {
     std::lock_guard<std::mutex> lock(tokens_mu_);
     active_tokens_.erase(job.token);
@@ -795,8 +848,12 @@ UpdateOutcome GraphSession::apply_updates(UpdateBatch batch) {
 }
 
 void GraphSession::compact() {
-  std::lock_guard<std::mutex> lock(update_mu_);
-  dyn_.compact();
+  {
+    std::lock_guard<std::mutex> lock(update_mu_);
+    dyn_.compact();
+  }
+  // compact() re-encodes the backend; publish the new footprint right away.
+  refresh_storage_metrics();
 }
 
 UpdateOutcome GraphSession::do_apply(const UpdateBatch& batch) {
@@ -870,6 +927,7 @@ UpdateOutcome GraphSession::do_apply(const UpdateBatch& batch) {
 
   out.update_ms = total.elapsed_ms();
   update_latency_ms_.observe(out.update_ms);
+  refresh_storage_metrics();
   return out;
 }
 
@@ -878,6 +936,8 @@ void GraphSession::apply_standing_deltas(
     std::uint64_t epoch, UpdateOutcome* out) {
   if (applied.empty()) return;
   Timer inc_timer;
+  // The anchored delta enumerations read the pre-batch snapshot.
+  const auto storage_lease = from->storage_lease();
   std::lock_guard<std::mutex> standing_lock(standing_mu_);
   for (auto& [id, sq] : standing_) {
     Timer one;
@@ -945,6 +1005,7 @@ std::uint64_t GraphSession::register_standing_query(StandingQueryConfig cfg) {
   HostEngineConfig host;
   host.num_threads = std::max<std::size_t>(1, cfg_.host_threads_per_query);
   Timer full_timer;
+  const auto storage_lease = snap->storage_lease();
   const HostMatchResult full = host_match(snap->view(), *plan, host);
   const double full_ms = full_timer.elapsed_ms();
 

@@ -60,6 +60,7 @@
 #include "service/plan_cache.hpp"
 #include "service/resilience.hpp"
 #include "service/watchdog.hpp"
+#include "storage/store.hpp"
 #include "util/timer.hpp"
 
 namespace stm {
@@ -269,6 +270,13 @@ struct SessionConfig {
   /// manifest, and construction runs crash recovery against whatever the
   /// directory holds (checkpoint load + WAL tail replay).
   persist::PersistenceConfig persistence;
+  /// Graph-storage backend (DESIGN.md §14): kUncompressed serves the raw
+  /// CSR; compressed backends re-encode the base graph (and every compacted
+  /// successor) behind the GraphView seam, so engines never know which one
+  /// they read. kAuto picks by degree histogram; a non-zero
+  /// memory_budget_bytes selects the mmap/spill tier. Applied updates layer
+  /// over the backend unchanged.
+  storage::StoragePolicy storage;
 };
 
 class GraphSession {
@@ -455,6 +463,13 @@ class GraphSession {
                                         const StandingQuery& sq) const;
   /// checkpoint() body; caller holds update_mu_.
   bool checkpoint_locked();
+  /// Publishes the storage gauges/counters from the current snapshot's
+  /// backend. Store counters are cumulative per-store and restart from zero
+  /// when compact() rebuilds the backend; the last-seen state under
+  /// storage_metrics_mu_ converts them to monotone Prometheus counters.
+  /// Also trims the backend's decoded-list cache back under the policy
+  /// budget when no query holds a lease on it.
+  void refresh_storage_metrics();
 
   /// Producer-thread body of an embedding stream: runs the engine in
   /// emission mode against the state's pinned snapshot, then finishes the
@@ -516,6 +531,12 @@ class GraphSession {
   persist::RecoveryReport recovery_report_;
   std::uint32_t batches_since_checkpoint_ = 0;  // guarded by update_mu_
 
+  /// Last store-cumulative counter values folded into the monotone storage
+  /// counters (see refresh_storage_metrics).
+  std::mutex storage_metrics_mu_;
+  std::uint64_t storage_page_faults_seen_ = 0;  // guarded by storage_metrics_mu_
+  std::uint64_t storage_decode_ops_seen_ = 0;   // guarded by storage_metrics_mu_
+
   // Cached metric handles (registry entries have stable addresses).
   Counter& queries_submitted_;
   Counter& queries_admitted_;
@@ -542,6 +563,8 @@ class GraphSession {
   Counter& checkpoints_written_;
   Counter& checkpoint_failures_;
   Counter& recovery_replayed_batches_;
+  Counter& storage_page_faults_;
+  Counter& storage_decode_ops_;
   Gauge& inflight_;
   Gauge& queue_depth_;
   Gauge& cache_hit_rate_;
@@ -552,6 +575,9 @@ class GraphSession {
   Gauge& cut_edge_fraction_;
   Gauge& open_streams_;
   Gauge& recovery_ms_;
+  Gauge& storage_resident_bytes_;
+  Gauge& graph_resident_bytes_;
+  Gauge& compression_ratio_;
   Histogram& latency_ms_;
   Histogram& queue_wait_ms_;
   Histogram& update_latency_ms_;

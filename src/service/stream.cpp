@@ -321,6 +321,9 @@ void GraphSession::run_stream(const std::shared_ptr<StreamState>& st) {
   QueryStatus status = QueryStatus::kOk;
   std::string error;
   try {
+    // Streams are long-lived engine runs over a pinned snapshot; the lease
+    // keeps the backend's decoded lists stable until the producer exits.
+    const auto storage_lease = st->snap->storage_lease();
     const GraphView g = st->snap->view();
     switch (st->req.engine) {
       case EngineKind::kHost: {

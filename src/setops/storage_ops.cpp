@@ -1,0 +1,91 @@
+#include "setops/storage_ops.hpp"
+
+namespace stm::storage {
+
+void cursor_intersect_into(ListCursor& cursor, stm::SetView other,
+                           std::vector<VertexId>& out) {
+  out.clear();
+  for (const VertexId x : other) {
+    cursor.seek_at_least(x);
+    if (cursor.done()) return;
+    if (cursor.value() == x) out.push_back(x);
+  }
+}
+
+std::size_t cursor_intersect_count(ListCursor& cursor, stm::SetView other) {
+  std::size_t count = 0;
+  for (const VertexId x : other) {
+    cursor.seek_at_least(x);
+    if (cursor.done()) break;
+    if (cursor.value() == x) ++count;
+  }
+  return count;
+}
+
+void cursor_difference_into(ListCursor& cursor, stm::SetView other,
+                            std::vector<VertexId>& out) {
+  out.clear();
+  for (const VertexId x : other) {
+    cursor.seek_at_least(x);
+    if (cursor.done() || cursor.value() != x) out.push_back(x);
+  }
+}
+
+std::size_t cursor_difference_count(ListCursor& cursor, stm::SetView other) {
+  std::size_t count = 0;
+  for (const VertexId x : other) {
+    cursor.seek_at_least(x);
+    if (cursor.done() || cursor.value() != x) ++count;
+  }
+  return count;
+}
+
+void bitset_intersect_into(const DynamicBitset& bits, stm::SetView other,
+                           std::vector<VertexId>& out) {
+  out.clear();
+  for (const VertexId x : other)
+    if (x < bits.size() && bits.test(x)) out.push_back(x);
+}
+
+std::size_t bitset_intersect_count(const DynamicBitset& bits,
+                                   stm::SetView other) {
+  std::size_t count = 0;
+  for (const VertexId x : other)
+    if (x < bits.size() && bits.test(x)) ++count;
+  return count;
+}
+
+void bitset_difference_into(const DynamicBitset& bits, stm::SetView other,
+                            std::vector<VertexId>& out) {
+  out.clear();
+  for (const VertexId x : other)
+    if (x >= bits.size() || !bits.test(x)) out.push_back(x);
+}
+
+std::size_t bitset_difference_count(const DynamicBitset& bits,
+                                    stm::SetView other) {
+  std::size_t count = 0;
+  for (const VertexId x : other)
+    if (x >= bits.size() || !bits.test(x)) ++count;
+  return count;
+}
+
+void adjacency_intersect_into(const CompressedGraph& g, VertexId v,
+                              stm::SetView other, std::vector<VertexId>& out) {
+  if (g.has_bitset(v)) {
+    bitset_intersect_into(g.bitset(v), other, out);
+    return;
+  }
+  ListCursor c = g.cursor(v);
+  cursor_intersect_into(c, other, out);
+}
+
+std::size_t adjacency_intersect_count(const CompressedGraph& g, VertexId v,
+                                      stm::SetView other) {
+  if (g.has_bitset(v))
+    return bitset_intersect_count(g.bitset(v), other);
+  ListCursor c = g.cursor(v);
+  return cursor_intersect_count(c, other);
+}
+
+}  // namespace stm::storage

@@ -1,0 +1,63 @@
+// Decode-on-intersect set operations over compressed adjacency.
+//
+// These operate directly on a storage ListCursor (delta/varint bytes with
+// skip anchors) or a DynamicBitset adjacency row against a sorted operand,
+// without ever materializing the full compressed list: the cursor variants
+// gallop via seek_at_least (decoding at most one anchor block per probe),
+// the bitset variants probe bits in O(1) per element. All are bit-exact
+// against the scalar ops in set_ops.hpp — the storage differential suite
+// proves it on randomized lists.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "setops/set_ops.hpp"
+#include "storage/compressed.hpp"
+#include "storage/encoding.hpp"
+#include "util/bitset.hpp"
+
+namespace stm::storage {
+
+/// compressed ∩ sorted appended to `out` (cleared first). `cursor` is
+/// consumed (left at end of list). Result is the intersection of the
+/// cursor's full list with `other`.
+void cursor_intersect_into(ListCursor& cursor, stm::SetView other,
+                           std::vector<VertexId>& out);
+
+/// |compressed ∩ sorted| without materializing either side.
+std::size_t cursor_intersect_count(ListCursor& cursor, stm::SetView other);
+
+/// sorted \ compressed appended to `out` (cleared first): elements of
+/// `other` not present in the cursor's list. (The engines' difference
+/// operand order: candidate set minus an adjacency list.)
+void cursor_difference_into(ListCursor& cursor, stm::SetView other,
+                            std::vector<VertexId>& out);
+
+/// |sorted \ compressed| without materializing.
+std::size_t cursor_difference_count(ListCursor& cursor, stm::SetView other);
+
+/// bitset ∩ sorted appended to `out` (cleared first).
+void bitset_intersect_into(const DynamicBitset& bits, stm::SetView other,
+                           std::vector<VertexId>& out);
+
+/// |bitset ∩ sorted|.
+std::size_t bitset_intersect_count(const DynamicBitset& bits,
+                                   stm::SetView other);
+
+/// sorted \ bitset appended to `out` (cleared first).
+void bitset_difference_into(const DynamicBitset& bits, stm::SetView other,
+                            std::vector<VertexId>& out);
+
+/// |sorted \ bitset|.
+std::size_t bitset_difference_count(const DynamicBitset& bits,
+                                    stm::SetView other);
+
+/// Dispatch over a CompressedGraph vertex (bitset row or cursor):
+/// out = N(v) ∩ other, never materializing N(v).
+void adjacency_intersect_into(const CompressedGraph& g, VertexId v,
+                              stm::SetView other, std::vector<VertexId>& out);
+std::size_t adjacency_intersect_count(const CompressedGraph& g, VertexId v,
+                                      stm::SetView other);
+
+}  // namespace stm::storage

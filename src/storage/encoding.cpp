@@ -1,0 +1,174 @@
+#include "storage/encoding.hpp"
+
+#include <cstring>
+
+namespace stm::storage {
+
+void append_varint(std::uint32_t value, std::vector<std::uint8_t>& out) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(value | 0x80));
+    value >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(value));
+}
+
+namespace {
+
+std::uint32_t read_varint_checked(const std::uint8_t*& p,
+                                  const std::uint8_t* end) {
+  std::uint32_t value = 0;
+  int shift = 0;
+  for (;;) {
+    STM_CHECK_MSG(p < end, "storage: truncated varint in encoded adjacency");
+    const std::uint8_t byte = *p++;
+    STM_CHECK_MSG(shift < 32, "storage: varint overflow in encoded adjacency");
+    value |= static_cast<std::uint32_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return value;
+    shift += 7;
+  }
+}
+
+std::uint32_t read_u32le(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+
+void write_u32le(std::uint8_t* p, std::uint32_t v) {
+  std::memcpy(p, &v, sizeof v);
+}
+
+}  // namespace
+
+std::size_t encode_adjacency(const VertexId* list, std::size_t degree,
+                             std::uint32_t block_size,
+                             std::vector<std::uint8_t>& out) {
+  STM_CHECK(block_size > 0);
+  const std::size_t start = out.size();
+  append_varint(static_cast<std::uint32_t>(degree), out);
+  const bool anchored = degree > block_size;
+  const std::size_t num_blocks =
+      anchored ? (degree + block_size - 1) / block_size : (degree > 0 ? 1 : 0);
+  std::size_t anchor_base = 0;
+  if (anchored) {
+    anchor_base = out.size();
+    out.resize(out.size() + num_blocks * kAnchorEntryBytes);
+  }
+  const std::size_t payload_base = out.size();
+  for (std::size_t b = 0; b < num_blocks; ++b) {
+    const std::size_t lo = b * block_size;
+    const std::size_t hi = std::min(degree, lo + block_size);
+    if (anchored) {
+      std::uint8_t* entry = out.data() + anchor_base + b * kAnchorEntryBytes;
+      write_u32le(entry, list[lo]);
+      write_u32le(entry + 4,
+                  static_cast<std::uint32_t>(out.size() - payload_base));
+    }
+    append_varint(list[lo], out);
+    for (std::size_t i = lo + 1; i < hi; ++i) {
+      STM_CHECK_MSG(list[i] > list[i - 1],
+                    "storage: adjacency list must be sorted strictly ascending");
+      append_varint(list[i] - list[i - 1], out);
+    }
+  }
+  return out.size() - start;
+}
+
+ListCursor::ListCursor(const std::uint8_t* begin, const std::uint8_t* end,
+                       std::uint32_t block_size)
+    : end_(end), block_size_(block_size) {
+  STM_CHECK(block_size > 0);
+  const std::uint8_t* p = begin;
+  degree_ = read_varint_checked(p, end);
+  if (degree_ == 0) {
+    idx_ = 0;
+    payload_ = pos_ = p;
+    num_blocks_ = 0;
+    return;
+  }
+  if (degree_ > block_size_) {
+    num_blocks_ = (degree_ + block_size_ - 1) / block_size_;
+    anchors_ = p;
+    STM_CHECK_MSG(p + num_blocks_ * kAnchorEntryBytes <= end,
+                  "storage: truncated anchor table");
+    payload_ = p + num_blocks_ * kAnchorEntryBytes;
+  } else {
+    num_blocks_ = 1;
+    payload_ = p;
+  }
+  pos_ = payload_;
+  idx_ = 0;
+  cur_ = read_varint();
+}
+
+std::uint32_t ListCursor::read_varint() {
+  return read_varint_checked(pos_, end_);
+}
+
+std::uint32_t ListCursor::anchor_first_value(std::uint32_t block) const {
+  return read_u32le(anchors_ + block * kAnchorEntryBytes);
+}
+
+std::uint32_t ListCursor::anchor_offset(std::uint32_t block) const {
+  return read_u32le(anchors_ + block * kAnchorEntryBytes + 4);
+}
+
+void ListCursor::advance() {
+  STM_CHECK(idx_ < degree_);
+  ++idx_;
+  if (idx_ >= degree_) return;
+  const std::uint32_t gap_or_abs = read_varint();
+  // The first element of each block is absolute; the rest are gaps.
+  if (idx_ % block_size_ == 0 && anchors_ != nullptr) {
+    cur_ = gap_or_abs;
+  } else {
+    cur_ += gap_or_abs;
+  }
+}
+
+void ListCursor::jump_to_block(std::uint32_t block) {
+  STM_CHECK(block < num_blocks_);
+  pos_ = payload_ + (anchors_ != nullptr ? anchor_offset(block) : 0);
+  idx_ = block * block_size_;
+  cur_ = read_varint();
+}
+
+void ListCursor::seek_at_least(VertexId x) {
+  if (degree_ == 0) return;
+  // The target lives at or after the start of the last block whose first
+  // value is <= x (all earlier blocks hold strictly smaller elements).
+  std::uint32_t block = 0;
+  if (anchors_ != nullptr) {
+    std::uint32_t lo = 0, hi = num_blocks_;
+    while (lo + 1 < hi) {
+      const std::uint32_t mid = (lo + hi) / 2;
+      if (anchor_first_value(mid) <= x)
+        lo = mid;
+      else
+        hi = mid;
+    }
+    block = lo;
+  }
+  // Reuse the current position only when it sits in the target block at or
+  // before x; otherwise (done, wrong block, or past x) restart at the block.
+  const bool reusable = !done() && idx_ / block_size_ == block && cur_ <= x;
+  if (!reusable) jump_to_block(block);
+  while (!done() && cur_ < x) advance();
+}
+
+void ListCursor::decode_remaining(std::vector<VertexId>& out) {
+  while (!done()) {
+    out.push_back(cur_);
+    advance();
+  }
+}
+
+void decode_adjacency(const std::uint8_t* begin, const std::uint8_t* end,
+                      std::uint32_t block_size, std::vector<VertexId>& out) {
+  out.clear();
+  ListCursor c(begin, end, block_size);
+  out.reserve(c.degree());
+  c.decode_remaining(out);
+}
+
+}  // namespace stm::storage

@@ -1,0 +1,121 @@
+// Page-granular on-disk layout for the spill tier.
+//
+// A page file holds every vertex's encoded adjacency (format: encoding.hpp)
+// packed into fixed-capacity pages, plus a fully resident index (degrees,
+// vertex -> (page, offset) locations, labels, per-page CRCs). Reads are
+// page-granular: the pager faults a whole page in, validates its length and
+// CRC-32 (the persist codec's zlib-compatible CRC), and only then serves
+// vertex slices out of it — a torn or garbled read is always detected before
+// any byte is decoded.
+//
+// File layout (all scalars little-endian, persist::BinaryWriter conventions):
+//
+//   magic "STMPAGE1" (8 bytes)
+//   u32 index_len | u32 crc32(index) | index payload
+//   page payloads, back to back, at the offsets recorded in the index
+//
+// Index payload:
+//   u32 version (1) | u32 page_size | u32 block_size
+//   u32 n | u64 m2 (directed adjacency entries) | u8 labeled
+//   [n bytes labels, when labeled]
+//   n x u32 degree
+//   n x { u32 page, u32 offset_in_page }
+//   u32 num_pages
+//   num_pages x { u64 file_offset, u32 payload_len, u32 crc32 }
+//
+// Vertices are packed in ascending order; a vertex's bytes never span pages
+// (a vertex larger than page_size gets a private oversized page), so one
+// page read always suffices to decode one vertex.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/types.hpp"
+#include "storage/encoding.hpp"
+
+namespace stm::storage {
+
+inline constexpr char kPageFileMagic[8] = {'S', 'T', 'M', 'P',
+                                           'A', 'G', 'E', '1'};
+inline constexpr std::uint32_t kPageFileVersion = 1;
+inline constexpr std::uint32_t kDefaultPageSize = 1u << 16;
+
+/// Location of one vertex's encoded bytes.
+struct VertexLocation {
+  std::uint32_t page = 0;
+  std::uint32_t offset = 0;  // byte offset within the page payload
+};
+
+/// One page-table entry.
+struct PageEntry {
+  std::uint64_t file_offset = 0;
+  std::uint32_t payload_len = 0;
+  std::uint32_t crc = 0;
+};
+
+/// Encodes `g` into a page file at `path`. Returns the total file size.
+std::uint64_t write_page_file(const std::string& path, const Graph& g,
+                              std::uint32_t page_size, std::uint32_t block_size);
+
+/// Read side: resident index + raw (unvalidated) page reads. Validation is
+/// the pager's job so fault injection can corrupt bytes between the read and
+/// the check. Not internally synchronized; the pager serializes access.
+class PageFile {
+ public:
+  PageFile() = default;
+  ~PageFile();
+  PageFile(const PageFile&) = delete;
+  PageFile& operator=(const PageFile&) = delete;
+  PageFile(PageFile&& o) noexcept;
+  PageFile& operator=(PageFile&& o) noexcept;
+
+  /// Opens and parses the index; throws check_error on any malformation.
+  static PageFile open(const std::string& path);
+
+  VertexId num_vertices() const { return n_; }
+  EdgeId num_adjacency_entries() const { return m2_; }
+  std::uint32_t page_size() const { return page_size_; }
+  std::uint32_t block_size() const { return block_size_; }
+  std::uint32_t num_pages() const {
+    return static_cast<std::uint32_t>(pages_.size());
+  }
+  bool is_labeled() const { return !labels_.empty(); }
+  const Label* labels_data() const {
+    return labels_.empty() ? nullptr : labels_.data();
+  }
+  std::uint32_t degree(VertexId v) const { return degrees_[v]; }
+  const std::vector<std::uint32_t>& degrees() const { return degrees_; }
+  VertexLocation location(VertexId v) const { return vloc_[v]; }
+  const PageEntry& page_entry(std::uint32_t page) const {
+    return pages_[page];
+  }
+  /// Total bytes of page payloads (the encoded adjacency on disk).
+  std::uint64_t payload_bytes() const;
+  /// Resident footprint of the index arrays.
+  std::uint64_t index_bytes() const;
+  std::uint64_t file_bytes() const { return file_bytes_; }
+
+  /// Reads page `page`'s payload into `out` (resized to the stored length).
+  /// Returns false on a short read (out keeps whatever was read). Performs
+  /// no CRC validation — the caller does, after fault injection.
+  bool read_page(std::uint32_t page, std::string& out) const;
+
+ private:
+  std::FILE* file_ = nullptr;
+  VertexId n_ = 0;
+  EdgeId m2_ = 0;
+  std::uint32_t page_size_ = kDefaultPageSize;
+  std::uint32_t block_size_ = kDefaultBlockSize;
+  std::uint64_t file_bytes_ = 0;
+  std::vector<Label> labels_;
+  std::vector<std::uint32_t> degrees_;
+  std::vector<VertexLocation> vloc_;
+  std::vector<PageEntry> pages_;
+};
+
+}  // namespace stm::storage

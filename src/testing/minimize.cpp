@@ -218,6 +218,16 @@ bool shrink_config(TestCase& c, Prober& prober) {
         return std::exchange(t.host.chunk_size, VertexId{1}) != 1u;
       },
       [](TestCase& t) { return !std::exchange(t.plan.code_motion, true); },
+      // Storage-backend reset last: a failure that survives on the raw CSR
+      // is an engine bug, not a storage bug, and the repro should say so.
+      [](TestCase& t) {
+        const bool changed =
+            t.storage_backend != storage::Backend::kUncompressed ||
+            t.storage_budget_bytes != 0;
+        t.storage_backend = storage::Backend::kUncompressed;
+        t.storage_budget_bytes = 0;
+        return changed;
+      },
   };
   for (const auto& step : steps) {
     if (prober.exhausted()) break;

@@ -17,6 +17,7 @@
 #include "pattern/matching_order.hpp"
 #include "service/service.hpp"
 #include "service/stream.hpp"
+#include "storage/store.hpp"
 #include "util/check.hpp"
 
 namespace stm::harness {
@@ -37,6 +38,8 @@ const char* to_string(EngineKind kind) {
       return "sharded";
     case EngineKind::kStream:
       return "stream";
+    case EngineKind::kStorage:
+      return "storage";
   }
   return "unknown";
 }
@@ -216,6 +219,71 @@ void run_stream_lane(const TestCase& c, OracleReport* report) {
   }
 }
 
+/// Storage lane: rebuilds c.graph under the case's sampled backend and
+/// re-runs the optimized engines over the store-backed view. The backend is
+/// supposed to be invisible behind the GraphView seam, so every count must
+/// equal the raw-CSR count and the reference enumeration must visit the
+/// same embeddings in the same order. Spill cases run under the sampled
+/// tiny budget with small pages, so eviction churns even on fuzz-sized
+/// graphs.
+void run_storage_lane(const TestCase& c, const MatchingPlan& plan,
+                      std::uint64_t enumerate_cap, OracleReport* report) {
+  storage::StoragePolicy policy;
+  policy.backend = c.storage_backend;
+  if (c.storage_backend == storage::Backend::kSpill) {
+    policy.memory_budget_bytes = c.storage_budget_bytes;
+    policy.page_size = 256;
+  }
+  const auto store = storage::GraphStore::build(Graph(c.graph), policy);
+  const auto lease = store->lease();
+  const GraphView view = store->view();
+
+  const std::uint64_t host = host_match(view, plan, c.host).count;
+  report->counts.push_back({EngineKind::kStorage, host});
+
+  const auto fail = [report](std::string note) {
+    report->agreed = false;
+    report->notes.push_back(std::move(note));
+  };
+  const std::uint64_t recursive =
+      recursive_count_range(view, plan, 0, c.graph.num_vertices());
+  if (recursive != report->expected) {
+    fail("storage lane: recursive engine counted " + std::to_string(recursive) +
+         " over the " + storage::to_string(c.storage_backend) +
+         " backend, raw CSR gives " + std::to_string(report->expected));
+  }
+  const std::uint64_t simt = stmatch_match(view, plan, c.simt).count;
+  if (simt != report->expected) {
+    fail("storage lane: simt engine counted " + std::to_string(simt) +
+         " over the " + storage::to_string(c.storage_backend) +
+         " backend, raw CSR gives " + std::to_string(report->expected));
+  }
+
+  // Enumeration order, not just counts: the store must serve every neighbor
+  // list identically, and the reference enumerator's visit order is a pure
+  // function of those lists.
+  if (report->expected <= enumerate_cap) {
+    const ReferenceOptions ref_opts{c.plan.induced, c.plan.count_mode};
+    std::vector<Embedding> raw, stored;
+    reference_enumerate(GraphView(c.graph), c.pattern, ref_opts,
+                        [&](const std::vector<VertexId>& m) { raw.push_back(m); });
+    reference_enumerate(view, c.pattern, ref_opts,
+                        [&](const std::vector<VertexId>& m) {
+                          stored.push_back(m);
+                        });
+    if (raw != stored) {
+      std::size_t at = 0;
+      while (at < raw.size() && at < stored.size() && raw[at] == stored[at])
+        ++at;
+      fail("storage lane: enumeration over the " +
+           std::string(storage::to_string(c.storage_backend)) +
+           " backend diverges from the raw CSR at position " +
+           std::to_string(at) + " (lengths " + std::to_string(stored.size()) +
+           " vs " + std::to_string(raw.size()) + ")");
+    }
+  }
+}
+
 }  // namespace
 
 OracleReport run_oracle(const TestCase& c, const OracleOptions& opts) {
@@ -292,6 +360,15 @@ OracleReport run_oracle(const TestCase& c, const OracleOptions& opts) {
     run_stream_lane(c, &report);
   } else {
     report.skipped.push_back(EngineKind::kStream);
+  }
+
+  // Storage lane: cases that sampled the raw backend skip it (the store
+  // would be byte-for-byte the CSR already compared above).
+  if (opts.run_storage &&
+      c.storage_backend != storage::Backend::kUncompressed) {
+    run_storage_lane(c, plan, opts.stream_max_matches, &report);
+  } else {
+    report.skipped.push_back(EngineKind::kStorage);
   }
 
   for (const EngineCount& e : report.counts)

@@ -30,8 +30,9 @@ enum class EngineKind : std::uint8_t {
   kIncremental,    // IncrementalMatcher replaying the graph as one batch
   kSharded,        // cross-shard coordinator over the case's sampled partition
   kStream,         // drained embedding streams (service layer, all engines)
+  kStorage,        // engines re-run over the case's sampled storage backend
 };
-inline constexpr std::size_t kNumEngineKinds = 7;
+inline constexpr std::size_t kNumEngineKinds = 8;
 
 const char* to_string(EngineKind kind);
 
@@ -55,6 +56,12 @@ struct OracleOptions {
   /// Skip the stream lane past this many expected matches (it materializes
   /// every embedding several times over).
   std::uint64_t stream_max_matches = 200000;
+  /// Storage lane: rebuild the case's graph under its sampled backend
+  /// (compressed / compressed+bitset / spill under a tiny budget) and
+  /// require bit-identical counts from the recursive, host and SIMT engines
+  /// plus a bit-identical reference enumeration order. Cases that sampled
+  /// kUncompressed skip the lane (the store would be the raw CSR).
+  bool run_storage = true;
 };
 
 struct EngineCount {

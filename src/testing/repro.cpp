@@ -150,6 +150,12 @@ std::string to_repro(const TestCase& c) {
      << (c.simt.global_steal ? 1 : 0) << " " << c.simt.stop_level << " "
      << c.simt.detect_level << "\n";
   os << "host " << c.host.num_threads << " " << c.host.chunk_size << "\n";
+  // Optional section (version-1 readers that predate it never wrote it):
+  // only non-default storage backends are recorded.
+  if (c.storage_backend != storage::Backend::kUncompressed) {
+    os << "storage " << storage::to_string(c.storage_backend) << " "
+       << c.storage_budget_bytes << "\n";
+  }
   os << "end\n";
   return os.str();
 }
@@ -263,7 +269,15 @@ TestCase from_repro(const std::string& text) {
   STM_CHECK_MSG(c.host.num_threads >= 1 && c.host.chunk_size >= 1,
                 "repro: host knobs must be >= 1 in \"" << reader.raw() << "\"");
 
-  reader.require_next("'end'");
+  reader.require_next("'storage' or 'end'");
+  if (reader.key_is("storage")) {
+    reader.expect_arity(2);
+    STM_CHECK_MSG(
+        storage::backend_from_string(reader.tokens()[1], c.storage_backend),
+        "repro: unknown storage backend in \"" << reader.raw() << "\"");
+    c.storage_budget_bytes = reader.u64(2);
+    reader.require_next("'end'");
+  }
   reader.expect_key("end");
   STM_CHECK_MSG(!reader.next(),
                 "repro: trailing content after 'end': \"" << reader.raw()

@@ -287,6 +287,15 @@ TestCase random_case(std::uint64_t seed, const WorkloadOptions& opts) {
   c.num_shards = kShardCounts[shard_rng.next_below(4)];
   c.shard_strategy = static_cast<dist::PartitionStrategy>(
       shard_rng.next_below(dist::kNumPartitionStrategies));
+  // Storage-lane knobs from a third derived stream, same reasoning: the
+  // backend draw must not perturb the shard draw (or vice versa).
+  Rng storage_rng(seed ^ 0xc2b2ae3d27d4eb4fULL);
+  static constexpr storage::Backend kBackends[] = {
+      storage::Backend::kUncompressed, storage::Backend::kCompressed,
+      storage::Backend::kCompressedBitset, storage::Backend::kSpill};
+  c.storage_backend = kBackends[storage_rng.next_below(4)];
+  if (c.storage_backend == storage::Backend::kSpill)
+    c.storage_budget_bytes = 512ull << storage_rng.next_below(3);
   return c;
 }
 
@@ -307,7 +316,10 @@ std::string describe(const TestCase& c) {
      << " steal=" << (c.simt.local_steal ? 1 : 0)
      << (c.simt.global_steal ? 1 : 0) << " threads=" << c.host.num_threads
      << " shards=" << c.num_shards << "/"
-     << dist::to_string(c.shard_strategy);
+     << dist::to_string(c.shard_strategy)
+     << " storage=" << storage::to_string(c.storage_backend);
+  if (c.storage_backend == storage::Backend::kSpill)
+    os << "/" << c.storage_budget_bytes << "B";
   return os.str();
 }
 

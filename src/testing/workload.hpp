@@ -23,6 +23,7 @@
 #include "graph/graph.hpp"
 #include "pattern/pattern.hpp"
 #include "pattern/plan.hpp"
+#include "storage/store.hpp"
 #include "util/rng.hpp"
 
 namespace stm::harness {
@@ -94,6 +95,12 @@ struct TestCase {
   /// pre-existing seeds keep generating bit-identical cases.
   std::uint32_t num_shards = 1;  // in {1, 2, 4, 8}
   dist::PartitionStrategy shard_strategy = dist::PartitionStrategy::kContiguous;
+  /// Storage-lane knobs, again from their own derived stream: the backend
+  /// the oracle re-runs the engines under (kUncompressed = lane skipped).
+  storage::Backend storage_backend = storage::Backend::kUncompressed;
+  /// Spill-backend page-cache budget, deliberately tiny so fuzz-sized
+  /// graphs still churn through eviction.
+  std::uint64_t storage_budget_bytes = 0;
 };
 
 /// The fully derived case of `seed`: same seed, same case, bit for bit.

@@ -86,6 +86,11 @@ class DynamicBitset {
     return nbits_ == o.nbits_ && words_ == o.words_;
   }
 
+  /// Raw 64-bit words (little-endian bit order within each word). Exposed so
+  /// bitset-adjacency consumers can iterate set bits word-at-a-time and
+  /// account resident bytes without per-bit test() calls.
+  const std::vector<std::uint64_t>& words() const { return words_; }
+
  private:
   void trim() {
     if (nbits_ & 63) words_.back() &= (1ULL << (nbits_ & 63)) - 1;
