@@ -49,7 +49,15 @@ std::uint64_t GraphSnapshot::memory_bytes() const {
   return total;
 }
 
+bool GraphSnapshot::has_edge(VertexId u, VertexId v) const {
+  const storage::GraphStore::Lease lease = storage_lease();
+  return view().has_edge(u, v);
+}
+
 Graph GraphSnapshot::compacted() const {
+  // The full sweep reads store-backed adjacency; the lease keeps a
+  // concurrent trim_decoded() from freeing decoded lists mid-iteration.
+  const storage::GraphStore::Lease lease = storage_lease();
   GraphBuilder builder(num_vertices());
   const GraphView g = view();
   for (VertexId u = 0; u < num_vertices(); ++u)
@@ -92,6 +100,10 @@ ApplyResult MutableGraph::apply(
     const std::function<void(const ApplyResult&)>& pre_publish) {
   std::lock_guard<std::mutex> lock(mu_);
   const GraphSnapshot& cur = *current_;
+  // Redundancy checks below read store-backed adjacency (has_edge); the
+  // lease keeps a trim_decoded() racing in from a query-completion thread
+  // from freeing decoded lists under us.
+  const storage::GraphStore::Lease storage_lease = cur.storage_lease();
   const VertexId n = cur.num_vertices();
 
   const auto ins = normalize_edges(batch.insertions, n, "inserted edge");
@@ -227,7 +239,9 @@ std::shared_ptr<const GraphSnapshot> MutableGraph::compact() {
 }
 
 DeltaOverlay::DeltaOverlay(std::shared_ptr<const GraphSnapshot> snap)
-    : snap_(std::move(snap)), slots_(snap_->num_vertices(), -1) {}
+    : snap_(std::move(snap)),
+      lease_(snap_->storage_lease()),
+      slots_(snap_->num_vertices(), -1) {}
 
 std::vector<VertexId>& DeltaOverlay::touch(VertexId v) {
   STM_CHECK(v < snap_->num_vertices());

@@ -82,7 +82,9 @@ class GraphSnapshot {
   /// Undirected edge count of this version (base edges + net delta).
   EdgeId num_edges() const { return num_edges_; }
 
-  bool has_edge(VertexId u, VertexId v) const { return view().has_edge(u, v); }
+  /// Store-safe point probe: takes its own storage lease, so it is safe to
+  /// call without pinning the decode cache first.
+  bool has_edge(VertexId u, VertexId v) const;
 
   /// Normalized delta of this version relative to its CSR base (empty right
   /// after construction or compact()).
@@ -219,6 +221,9 @@ class DeltaOverlay {
   std::vector<VertexId>& touch(VertexId v);
 
   std::shared_ptr<const GraphSnapshot> snap_;
+  /// Untouched vertices read through the snapshot's store on every view();
+  /// the overlay pins the decode cache for its whole lifetime.
+  storage::GraphStore::Lease lease_;
   std::vector<std::int32_t> slots_;
   std::vector<std::vector<VertexId>> lists_;
 };

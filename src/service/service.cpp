@@ -302,6 +302,14 @@ GraphSession::GraphSession(Boot boot)
 }
 
 void GraphSession::refresh_storage_metrics() {
+  // The whole refresh — snapshot acquisition, stats read, counter fold —
+  // runs under one lock so concurrent refreshes serialize and each folds a
+  // consistent (store, stats) pair. Stores only move forward (compact()
+  // publishes a rebuilt backend, never an old one), so the identity check
+  // below sees each store's counters folded from its own baseline; without
+  // the lock two threads could read stats() from different stores around a
+  // compact() and apply them to the seen-counters out of order.
+  std::lock_guard<std::mutex> lock(storage_metrics_mu_);
   const std::shared_ptr<const GraphSnapshot> snap = dyn_.snapshot();
   graph_resident_bytes_.set(static_cast<double>(snap->memory_bytes()));
   const std::shared_ptr<const storage::GraphStore>& store = snap->store();
@@ -320,13 +328,16 @@ void GraphSession::refresh_storage_metrics() {
   storage_resident_bytes_.set(static_cast<double>(st.resident_bytes));
   compression_ratio_.set(st.compression_ratio);
   // Store counters are cumulative per-store and restart from zero when
-  // compact() swaps in a rebuilt backend; fold only the increments into the
-  // monotone session counters.
-  std::lock_guard<std::mutex> lock(storage_metrics_mu_);
-  if (st.page_faults < storage_page_faults_seen_) storage_page_faults_seen_ = 0;
+  // compact() swaps in a rebuilt backend; key the seen-counters to the store
+  // identity (weak_ptr: expiry-safe against address reuse) and fold only the
+  // increments into the monotone session counters.
+  if (storage_metrics_store_.lock() != store) {
+    storage_metrics_store_ = store;
+    storage_page_faults_seen_ = 0;
+    storage_decode_ops_seen_ = 0;
+  }
   storage_page_faults_.inc(st.page_faults - storage_page_faults_seen_);
   storage_page_faults_seen_ = st.page_faults;
-  if (st.decode_ops < storage_decode_ops_seen_) storage_decode_ops_seen_ = 0;
   storage_decode_ops_.inc(st.decode_ops - storage_decode_ops_seen_);
   storage_decode_ops_seen_ = st.decode_ops;
 }
@@ -454,6 +465,10 @@ std::shared_ptr<const dist::ShardedMatcher> GraphSession::sharded_matcher(
 
 void GraphSession::rebuild_shards(std::shared_ptr<const GraphSnapshot> snap,
                                   const DeltaEdges* delta) {
+  // Both branches read store-backed adjacency (halo refresh via snap->view(),
+  // full build via compacted()); a query completing concurrently must not
+  // trim the decode cache mid-read.
+  const auto storage_lease = snap->storage_lease();
   std::shared_ptr<const dist::Partition> next;
   if (delta != nullptr) {
     std::shared_ptr<const ShardState> cur;

@@ -532,10 +532,12 @@ class GraphSession {
   std::uint32_t batches_since_checkpoint_ = 0;  // guarded by update_mu_
 
   /// Last store-cumulative counter values folded into the monotone storage
-  /// counters (see refresh_storage_metrics).
+  /// counters, keyed to the store they came from (see
+  /// refresh_storage_metrics). All three guarded by storage_metrics_mu_.
   std::mutex storage_metrics_mu_;
-  std::uint64_t storage_page_faults_seen_ = 0;  // guarded by storage_metrics_mu_
-  std::uint64_t storage_decode_ops_seen_ = 0;   // guarded by storage_metrics_mu_
+  std::weak_ptr<const storage::GraphStore> storage_metrics_store_;
+  std::uint64_t storage_page_faults_seen_ = 0;
+  std::uint64_t storage_decode_ops_seen_ = 0;
 
   // Cached metric handles (registry entries have stable addresses).
   Counter& queries_submitted_;

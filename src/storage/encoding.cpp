@@ -58,6 +58,12 @@ std::size_t encode_adjacency(const VertexId* list, std::size_t degree,
   for (std::size_t b = 0; b < num_blocks; ++b) {
     const std::size_t lo = b * block_size;
     const std::size_t hi = std::min(degree, lo + block_size);
+    // The block's first value is stored absolute, so the in-block gap checks
+    // below never compare it against the previous block's last element —
+    // check the boundary here or an unsorted input at exactly a block seam
+    // would encode silently with a non-monotone anchor table.
+    STM_CHECK_MSG(lo == 0 || list[lo] > list[lo - 1],
+                  "storage: adjacency list must be sorted strictly ascending");
     if (anchored) {
       std::uint8_t* entry = out.data() + anchor_base + b * kAnchorEntryBytes;
       write_u32le(entry, list[lo]);

@@ -1,5 +1,6 @@
 #include "storage/pagefile.hpp"
 
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 
@@ -7,6 +8,21 @@
 #include "util/check.hpp"
 
 namespace stm::storage {
+
+namespace {
+
+/// 64-bit-clean absolute seek: std::fseek takes a long, which is 32-bit on
+/// LLP64 platforms and would truncate offsets past 2 GiB in large spill
+/// files.
+bool seek_to(std::FILE* f, std::uint64_t offset) {
+#if defined(_WIN32)
+  return ::_fseeki64(f, static_cast<long long>(offset), SEEK_SET) == 0;
+#else
+  return ::fseeko(f, static_cast<off_t>(offset), SEEK_SET) == 0;
+#endif
+}
+
+}  // namespace
 
 std::uint64_t write_page_file(const std::string& path, const Graph& g,
                               std::uint32_t page_size,
@@ -187,8 +203,7 @@ bool PageFile::read_page(std::uint32_t page, std::string& out) const {
   STM_CHECK(page < pages_.size());
   const PageEntry& e = pages_[page];
   out.resize(e.payload_len);
-  if (std::fseek(file_, static_cast<long>(e.file_offset), SEEK_SET) != 0)
-    return false;
+  if (!seek_to(file_, e.file_offset)) return false;
   return std::fread(out.data(), 1, e.payload_len, file_) == e.payload_len;
 }
 

@@ -7,12 +7,15 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <filesystem>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/fault.hpp"
+#include "dynamic/dynamic_graph.hpp"
 #include "core/host_engine.hpp"
 #include "graph/generators.hpp"
 #include "pattern/matching_order.hpp"
@@ -123,6 +126,23 @@ TEST(StorageEncoding, CursorAdvanceAndDecodeRemaining) {
   EXPECT_EQ(walked, list);
   EXPECT_TRUE(cursor.done());
   EXPECT_EQ(cursor.position(), bytes.data() + bytes.size());
+}
+
+TEST(StorageEncoding, UnsortedAtBlockBoundaryFailsClosed) {
+  // Strictly ascending inside every block but out of order exactly at the
+  // block seam (list[4] < list[3] with block_size 4): the per-block gap
+  // checks never see this pair, so a dedicated boundary check must reject
+  // it — encoded silently it would produce a non-monotone anchor table and
+  // break seek_at_least's binary search.
+  const std::vector<VertexId> seam = {10, 20, 30, 40, 35, 50, 60, 70};
+  std::vector<std::uint8_t> bytes;
+  EXPECT_THROW(encode_adjacency(seam.data(), seam.size(), 4, bytes),
+               check_error);
+  // A duplicate across the seam violates strictness the same way.
+  const std::vector<VertexId> dup = {10, 20, 30, 40, 40, 50, 60, 70};
+  bytes.clear();
+  EXPECT_THROW(encode_adjacency(dup.data(), dup.size(), 4, bytes),
+               check_error);
 }
 
 TEST(StorageEncoding, TruncatedBytesFailClosed) {
@@ -394,6 +414,52 @@ TEST(StorageStore, TrimIsBlockedWhileLeased) {
   EXPECT_TRUE(store->trim_decoded());
   EXPECT_EQ(store->stats().decoded_cache_bytes, 0u);
   EXPECT_GT(store->stats().decode_ops, 0u);
+}
+
+TEST(StorageStore, MutationPathsHoldLeasesAgainstTrim) {
+  storage::StoragePolicy policy;
+  policy.backend = Backend::kCompressed;
+  MutableGraph dyn(make_barabasi_albert(300, 4, 91), 0, policy);
+  const auto store = dyn.snapshot()->store();
+  ASSERT_NE(store, nullptr);
+
+  {
+    // A DeltaOverlay resolves untouched vertices through the store lazily
+    // for its whole lifetime, so it must pin the decode cache on its own.
+    DeltaOverlay overlay(dyn.snapshot());
+    ASSERT_TRUE(overlay.has_edge(0, 1) || !overlay.has_edge(0, 1));
+    EXPECT_FALSE(store->trim_decoded());
+  }
+  EXPECT_TRUE(store->trim_decoded());
+
+  // Race the store-backed mutation readers (apply's redundancy probes,
+  // compacted(), point has_edge) against a concurrent trimmer: each path
+  // takes its own lease, so decoded lists are never freed mid-read — a
+  // violation is a use-after-free that ASan/TSan make loud.
+  std::atomic<bool> stop{false};
+  std::thread trimmer([&] {
+    while (!stop.load(std::memory_order_relaxed)) store->trim_decoded();
+  });
+  const VertexId n = dyn.snapshot()->num_vertices();
+  const EdgeId edges_before = dyn.snapshot()->num_edges();
+  for (int i = 0; i < 30; ++i) {
+    const VertexId u = static_cast<VertexId>(i % 7);
+    const VertexId v = static_cast<VertexId>(n - 1 - i % 11);
+    UpdateBatch add;
+    add.insertions.emplace_back(u, v);
+    const bool present = dyn.snapshot()->has_edge(u, v);
+    dyn.apply(add);
+    const Graph folded = dyn.snapshot()->compacted();
+    ASSERT_TRUE(folded.has_edge(u, v));
+    if (!present) {
+      UpdateBatch del;
+      del.deletions.emplace_back(u, v);
+      dyn.apply(del);
+    }
+  }
+  stop.store(true);
+  trimmer.join();
+  EXPECT_EQ(dyn.snapshot()->num_edges(), edges_before);
 }
 
 TEST(StorageStore, GraphMemoryBytesCoversTheCSR) {
