@@ -8,6 +8,7 @@
 #include "graph/generators.hpp"
 #include "setops/multi_set_op.hpp"
 #include "setops/set_ops.hpp"
+#include "setops/simd.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -96,6 +97,146 @@ void BM_CombinedMultiSetOp(benchmark::State& state) {
   state.counters["lane_util"] = cost.utilization();
 }
 BENCHMARK(BM_CombinedMultiSetOp)->RangeMultiplier(2)->Range(1, 16);
+
+// ---------------------------------------------------------------------------
+// Per-ISA kernel grids (EXPERIMENTS.md "SIMD set operations"). Each benchmark
+// takes (size, isa) from ArgsProduct and drives the raw kernel table of that
+// level, so the numbers are pure kernel throughput — no wrapper resize or
+// algorithm-selection overhead. Unsupported levels self-skip so the same
+// binary runs on any host.
+// ---------------------------------------------------------------------------
+
+const char* IsaArgName(std::int64_t isa) {
+  return simd::to_string(static_cast<simd::IsaLevel>(isa));
+}
+
+/// Fetches the kernel table for the benchmark's ISA argument, or skips the
+/// benchmark when this build/CPU cannot execute it.
+const simd::Kernels* KernelsOrSkip(benchmark::State& state) {
+  const auto level = static_cast<simd::IsaLevel>(state.range(1));
+  if (!simd::is_supported(level)) {
+    state.SkipWithError("isa level not supported on this host");
+    return nullptr;
+  }
+  return &simd::kernels_for(level);
+}
+
+void SetIsaLabel(benchmark::State& state) {
+  state.SetLabel(IsaArgName(state.range(1)));
+}
+
+void BM_SimdIntersect(benchmark::State& state) {
+  const simd::Kernels* k = KernelsOrSkip(state);
+  if (!k) return;
+  Rng rng(21);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto a = sorted_set(rng, n, static_cast<VertexId>(n * 8));
+  auto b = sorted_set(rng, n, static_cast<VertexId>(n * 8));
+  std::vector<VertexId> out(std::min(a.size(), b.size()) +
+                            simd::kSimdOutSlack);
+  for (auto _ : state) {
+    const std::size_t got =
+        k->intersect(a.data(), a.size(), b.data(), b.size(), out.data());
+    benchmark::DoNotOptimize(got);
+    benchmark::DoNotOptimize(out.data());
+  }
+  SetIsaLabel(state);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(a.size() + b.size()));
+}
+BENCHMARK(BM_SimdIntersect)
+    ->ArgsProduct({{16, 64, 256, 1024, 4096}, {0, 1, 2}});
+
+void BM_SimdIntersectCount(benchmark::State& state) {
+  const simd::Kernels* k = KernelsOrSkip(state);
+  if (!k) return;
+  Rng rng(22);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto a = sorted_set(rng, n, static_cast<VertexId>(n * 8));
+  auto b = sorted_set(rng, n, static_cast<VertexId>(n * 8));
+  for (auto _ : state) {
+    const std::size_t got =
+        k->intersect_count(a.data(), a.size(), b.data(), b.size());
+    benchmark::DoNotOptimize(got);
+  }
+  SetIsaLabel(state);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(a.size() + b.size()));
+}
+BENCHMARK(BM_SimdIntersectCount)
+    ->ArgsProduct({{16, 64, 256, 1024, 4096}, {0, 1, 2}});
+
+void BM_SimdDifference(benchmark::State& state) {
+  const simd::Kernels* k = KernelsOrSkip(state);
+  if (!k) return;
+  Rng rng(23);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto a = sorted_set(rng, n, static_cast<VertexId>(n * 4));
+  auto b = sorted_set(rng, n, static_cast<VertexId>(n * 4));
+  std::vector<VertexId> out(a.size() + simd::kSimdOutSlack);
+  for (auto _ : state) {
+    const std::size_t got =
+        k->difference(a.data(), a.size(), b.data(), b.size(), out.data());
+    benchmark::DoNotOptimize(got);
+    benchmark::DoNotOptimize(out.data());
+  }
+  SetIsaLabel(state);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(a.size() + b.size()));
+}
+BENCHMARK(BM_SimdDifference)
+    ->ArgsProduct({{16, 64, 256, 1024, 4096}, {0, 1, 2}});
+
+void BM_SimdGallopIntersect(benchmark::State& state) {
+  // Skew grid: |a| = 32 probes into |b| = 32 * ratio. Justifies
+  // kGallopSkewRatio: below ~16x the block merge still wins, past ~32x
+  // galloping takes over regardless of ISA.
+  const simd::Kernels* k = KernelsOrSkip(state);
+  if (!k) return;
+  Rng rng(24);
+  const auto ratio = static_cast<std::size_t>(state.range(0));
+  auto a = sorted_set(rng, 32, static_cast<VertexId>(32 * ratio * 4));
+  auto b =
+      sorted_set(rng, 32 * ratio, static_cast<VertexId>(32 * ratio * 4));
+  std::vector<VertexId> out(std::min(a.size(), b.size()) +
+                            simd::kSimdOutSlack);
+  for (auto _ : state) {
+    const std::size_t got = k->gallop_intersect(a.data(), a.size(), b.data(),
+                                                b.size(), out.data());
+    benchmark::DoNotOptimize(got);
+    benchmark::DoNotOptimize(out.data());
+  }
+  SetIsaLabel(state);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(a.size()));
+}
+BENCHMARK(BM_SimdGallopIntersect)
+    ->ArgsProduct({{4, 16, 64, 256}, {0, 1, 2}});
+
+void BM_SimdMergeUnderSkew(benchmark::State& state) {
+  // Same skewed inputs through the block-merge kernel: the crossover against
+  // BM_SimdGallopIntersect is what kGallopSkewRatio = 32 encodes.
+  const simd::Kernels* k = KernelsOrSkip(state);
+  if (!k) return;
+  Rng rng(24);  // same seed as the gallop grid: identical inputs
+  const auto ratio = static_cast<std::size_t>(state.range(0));
+  auto a = sorted_set(rng, 32, static_cast<VertexId>(32 * ratio * 4));
+  auto b =
+      sorted_set(rng, 32 * ratio, static_cast<VertexId>(32 * ratio * 4));
+  std::vector<VertexId> out(std::min(a.size(), b.size()) +
+                            simd::kSimdOutSlack);
+  for (auto _ : state) {
+    const std::size_t got =
+        k->intersect(a.data(), a.size(), b.data(), b.size(), out.data());
+    benchmark::DoNotOptimize(got);
+    benchmark::DoNotOptimize(out.data());
+  }
+  SetIsaLabel(state);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(a.size()));
+}
+BENCHMARK(BM_SimdMergeUnderSkew)
+    ->ArgsProduct({{4, 16, 64, 256}, {0, 1, 2}});
 
 void BM_NeighborScan(benchmark::State& state) {
   Graph g = make_barabasi_albert(2000, 8, 11);

@@ -13,7 +13,12 @@ class RecExec {
  public:
   RecExec(GraphView g, const MatchingPlan& plan, RecursiveCounters* c,
           const CancelToken* cancel = nullptr)
-      : g_(g), plan_(plan), counters_(c), poller_(cancel), k_(plan.size()) {
+      : g_(g),
+        plan_(plan),
+        counters_(c),
+        poller_(cancel),
+        k_(plan.size()),
+        simd_(simd::kernels_for_choice(plan.options().forced_isa)) {
     STM_CHECK_MSG(!plan_.pattern().is_labeled() || g_.is_labeled(),
                   "labeled pattern requires a labeled data graph");
     values_.resize(plan_.num_nodes());
@@ -111,28 +116,46 @@ class RecExec {
         add_ops(entry, nbrs.size());
       } else {
         const auto& src = values_[static_cast<std::size_t>(node.dep)];
-        // Merge-based set operation into a scratch buffer (out may alias a
-        // value still needed? nodes are distinct; src != out by plan
-        // construction since dep != id).
-        scratch_.clear();
-        std::size_t i = 0, j = 0;
+        // Dispatched (SIMD) set operation into a scratch buffer; src != out
+        // by plan construction since dep != id. The label filter only
+        // inspects surviving elements, so filtering after the set op is
+        // bit-identical to the old fused merge loop.
         const bool intersect = (node.op.kind == SetOpKind::kIntersect);
-        while (i < src.size() && j < nbrs.size()) {
-          if (src[i] < nbrs[j]) {
-            if (!intersect && filter.keep(src[i])) scratch_.push_back(src[i]);
-            ++i;
-          } else if (nbrs[j] < src[i]) {
-            ++j;
-          } else {
-            if (intersect && filter.keep(src[i])) scratch_.push_back(src[i]);
-            ++i;
-            ++j;
-          }
+        const std::size_t bound =
+            intersect ? std::min(src.size(), nbrs.size()) : src.size();
+        scratch_.resize(bound + simd::kSimdOutSlack);
+        std::size_t n;
+        if (intersect) {
+          // Neighbor lists can dwarf a narrowed candidate set; gallop on
+          // heavy skew, block-merge otherwise (simd::kGallopSkewRatio).
+          const bool src_small = src.size() <= nbrs.size();
+          const std::size_t small = src_small ? src.size() : nbrs.size();
+          const std::size_t large = src_small ? nbrs.size() : src.size();
+          if (small * simd::kGallopSkewRatio <= large)
+            n = src_small
+                    ? simd_.gallop_intersect(src.data(), src.size(),
+                                             nbrs.data(), nbrs.size(),
+                                             scratch_.data())
+                    : simd_.gallop_intersect(nbrs.data(), nbrs.size(),
+                                             src.data(), src.size(),
+                                             scratch_.data());
+          else
+            n = simd_.intersect(src.data(), src.size(), nbrs.data(),
+                                nbrs.size(), scratch_.data());
+        } else if (src.size() * simd::kGallopSkewRatio <= nbrs.size()) {
+          n = simd_.gallop_difference(src.data(), src.size(), nbrs.data(),
+                                      nbrs.size(), scratch_.data());
+        } else {
+          n = simd_.difference(src.data(), src.size(), nbrs.data(),
+                               nbrs.size(), scratch_.data());
         }
-        if (!intersect) {
-          for (; i < src.size(); ++i)
-            if (filter.keep(src[i])) scratch_.push_back(src[i]);
-        }
+        scratch_.resize(n);
+        if (filter.labels != nullptr)
+          scratch_.erase(std::remove_if(scratch_.begin(), scratch_.end(),
+                                        [&](VertexId v) {
+                                          return !filter.keep(v);
+                                        }),
+                         scratch_.end());
         out.swap(scratch_);
         add_ops(entry, src.size() + nbrs.size());
       }
@@ -194,6 +217,7 @@ class RecExec {
   RecursiveCounters* counters_;
   CancelPoller poller_;
   std::size_t k_;
+  const simd::Kernels& simd_;  // bound once per exec from the plan's choice
   std::vector<std::vector<VertexId>> values_;
   std::vector<VertexId> scratch_;
   std::array<VertexId, kMaxPatternSize> matched_{};

@@ -11,37 +11,43 @@ void combined_set_op(std::span<SetOpTask> tasks, WarpOpCost* cost) {
   std::vector<std::uint64_t> sizes(tasks.size());
   for (std::size_t t = 0; t < tasks.size(); ++t) {
     STM_CHECK(tasks[t].out != nullptr);
-    tasks[t].out->clear();
     sizes[t] = tasks[t].source.size();
   }
   const auto scan = exclusive_prefix_sum(sizes);  // paper: size_scan
   const std::uint64_t total = scan.back();
 
+  // Outputs go through the dispatched (SIMD) kernels: each task's result is
+  // its source op target, label-filtered, in sorted order — exactly what the
+  // per-lane emulation produced element by element. The warp cost counters
+  // are data-independent (they depend only on source/target sizes), so they
+  // are computed arithmetically below and stay bit-identical to the old
+  // per-element loop under every ISA level.
   WarpOpCost local;
+  for (SetOpTask& task : tasks) {
+    set_op_into(task.op, task.source, task.target, *task.out);
+    if (task.filter.labels != nullptr)
+      task.out->erase(
+          std::remove_if(task.out->begin(), task.out->end(),
+                         [&](VertexId v) { return !task.filter.keep(v); }),
+          task.out->end());
+    local.elements_written += task.out->size();
+  }
+
+  // Cost emulation (paper Fig. 8): lanes take elements from the flat
+  // concatenation of sources, kWarpWidth per wave; each wave's probe depth
+  // is the max bsearch_steps(target size) over the tasks whose source range
+  // overlaps the wave. Empty sources own no lanes and never contribute.
   std::size_t set_idx = 0;  // advances monotonically over the flat range
   for (std::uint64_t wave_start = 0; wave_start < total;
        wave_start += kWarpWidth) {
-    const std::uint64_t wave_end = std::min<std::uint64_t>(
-        wave_start + kWarpWidth, total);
+    const std::uint64_t wave_end =
+        std::min<std::uint64_t>(wave_start + kWarpWidth, total);
+    while (scan[set_idx + 1] <= wave_start) ++set_idx;
     std::uint32_t max_steps = 0;
-    for (std::uint64_t pos = wave_start; pos < wave_end; ++pos) {
-      while (scan[set_idx + 1] <= pos) ++set_idx;  // lane's set_idx
-      const SetOpTask& task = tasks[set_idx];
-      const std::uint64_t set_ofs = pos - scan[set_idx];
-      const VertexId value = task.source[set_ofs];
-      // bsearch_res in Fig. 8: 1 = keep.
-      const bool found = set_contains(task.target, value);
-      const bool keep_op =
-          (task.op == SetOpKind::kIntersect) ? found : !found;
-      max_steps = std::max(
-          max_steps, bsearch_steps(task.target.size()));
-      if (keep_op && task.filter.keep(value)) {
-        // Sequential emulation writes in flat order, which preserves the
-        // sorted order within each output set (ballot/popc compaction on a
-        // real warp produces the same order).
-        task.out->push_back(value);
-        ++local.elements_written;
-      }
+    for (std::size_t t = set_idx; t < tasks.size() && scan[t] < wave_end;
+         ++t) {
+      if (scan[t] == scan[t + 1]) continue;  // empty source: no lanes
+      max_steps = std::max(max_steps, bsearch_steps(tasks[t].target.size()));
     }
     ++local.waves;
     local.busy_lane_slots += wave_end - wave_start;

@@ -12,70 +12,37 @@ bool set_contains(SetView s, VertexId v) {
 
 namespace {
 
-void intersect_merge(SetView a, SetView b, std::vector<VertexId>& out) {
-  std::size_t i = 0, j = 0;
-  while (i < a.size() && j < b.size()) {
-    if (a[i] < b[j])
-      ++i;
-    else if (b[j] < a[i])
-      ++j;
-    else {
-      out.push_back(a[i]);
-      ++i;
-      ++j;
-    }
-  }
-}
-
 void intersect_binary(SetView a, SetView b, std::vector<VertexId>& out) {
   for (VertexId v : a)
     if (set_contains(b, v)) out.push_back(v);
 }
 
-void intersect_galloping(SetView a, SetView b, std::vector<VertexId>& out) {
-  // Always gallop through the larger set with elements of the smaller one;
-  // preserves sorted output since `a`'s order is kept when a is smaller, and
-  // intersection is symmetric.
-  if (a.size() > b.size()) {
-    intersect_galloping(b, a, out);
-    return;
-  }
-  std::size_t lo = 0;
-  for (VertexId v : a) {
-    // Exponential search for the first position with b[pos] >= v.
-    std::size_t step = 1, hi = lo;
-    while (hi < b.size() && b[hi] < v) {
-      lo = hi + 1;
-      hi += step;
-      step <<= 1;
-    }
-    hi = std::min(hi, b.size());
-    auto it = std::lower_bound(b.begin() + static_cast<std::ptrdiff_t>(lo),
-                               b.begin() + static_cast<std::ptrdiff_t>(hi), v);
-    lo = static_cast<std::size_t>(it - b.begin());
-    if (lo < b.size() && b[lo] == v) {
-      out.push_back(v);
-      ++lo;
-    }
-  }
+inline const simd::Kernels& table_or_active(const simd::Kernels* kernels) {
+  return kernels != nullptr ? *kernels : simd::kernels();
 }
 
 }  // namespace
 
 void set_intersect_into(SetView a, SetView b, std::vector<VertexId>& out,
-                        IntersectAlgo algo) {
-  out.clear();
-  switch (algo) {
-    case IntersectAlgo::kMerge:
-      intersect_merge(a, b, out);
-      break;
-    case IntersectAlgo::kBinary:
-      intersect_binary(a, b, out);
-      break;
-    case IntersectAlgo::kGalloping:
-      intersect_galloping(a, b, out);
-      break;
+                        IntersectAlgo algo, const simd::Kernels* kernels) {
+  if (algo == IntersectAlgo::kBinary) {
+    out.clear();
+    intersect_binary(a, b, out);
+    return;
   }
+  const simd::Kernels& k = table_or_active(kernels);
+  // Galloping probes the larger set with elements of the smaller one; the
+  // intersection is symmetric so sorted output is preserved either way.
+  SetView small = a, large = b;
+  if (algo == IntersectAlgo::kGalloping && small.size() > large.size())
+    std::swap(small, large);
+  out.resize(std::min(a.size(), b.size()) + simd::kSimdOutSlack);
+  const std::size_t n =
+      algo == IntersectAlgo::kGalloping
+          ? k.gallop_intersect(small.data(), small.size(), large.data(),
+                               large.size(), out.data())
+          : k.intersect(a.data(), a.size(), b.data(), b.size(), out.data());
+  out.resize(n);
 }
 
 std::vector<VertexId> set_intersect(SetView a, SetView b, IntersectAlgo algo) {
@@ -85,20 +52,19 @@ std::vector<VertexId> set_intersect(SetView a, SetView b, IntersectAlgo algo) {
   return out;
 }
 
-void set_difference_into(SetView a, SetView b, std::vector<VertexId>& out) {
-  out.clear();
-  std::size_t i = 0, j = 0;
-  while (i < a.size() && j < b.size()) {
-    if (a[i] < b[j])
-      out.push_back(a[i++]);
-    else if (b[j] < a[i])
-      ++j;
-    else {
-      ++i;
-      ++j;
-    }
-  }
-  for (; i < a.size(); ++i) out.push_back(a[i]);
+void set_difference_into(SetView a, SetView b, std::vector<VertexId>& out,
+                         const simd::Kernels* kernels) {
+  const simd::Kernels& k = table_or_active(kernels);
+  out.resize(a.size() + simd::kSimdOutSlack);
+  // The skewed case worth special-casing is |b| >> |a| (subtracting a huge
+  // neighbor list from a small candidate set); a \ b never shrinks below
+  // probing each element of a, so gallop on that shape.
+  const std::size_t n =
+      b.size() / simd::kGallopSkewRatio >= std::max<std::size_t>(a.size(), 1)
+          ? k.gallop_difference(a.data(), a.size(), b.data(), b.size(),
+                                out.data())
+          : k.difference(a.data(), a.size(), b.data(), b.size(), out.data());
+  out.resize(n);
 }
 
 std::vector<VertexId> set_difference(SetView a, SetView b) {
@@ -108,20 +74,15 @@ std::vector<VertexId> set_difference(SetView a, SetView b) {
   return out;
 }
 
-std::size_t set_intersect_count(SetView a, SetView b) {
-  std::size_t count = 0, i = 0, j = 0;
-  while (i < a.size() && j < b.size()) {
-    if (a[i] < b[j])
-      ++i;
-    else if (b[j] < a[i])
-      ++j;
-    else {
-      ++count;
-      ++i;
-      ++j;
-    }
-  }
-  return count;
+std::size_t set_intersect_count(SetView a, SetView b,
+                                const simd::Kernels* kernels) {
+  const simd::Kernels& k = table_or_active(kernels);
+  SetView small = a, large = b;
+  if (small.size() > large.size()) std::swap(small, large);
+  if (small.size() * simd::kGallopSkewRatio <= large.size())
+    return k.gallop_intersect_count(small.data(), small.size(), large.data(),
+                                    large.size());
+  return k.intersect_count(a.data(), a.size(), b.data(), b.size());
 }
 
 std::size_t set_difference_count(SetView a, SetView b) {

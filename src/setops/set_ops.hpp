@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "graph/types.hpp"
+#include "setops/simd.hpp"
 
 namespace stm {
 
@@ -30,18 +31,29 @@ enum class IntersectAlgo : std::uint8_t {
 /// True iff v ∈ s (binary search).
 bool set_contains(SetView s, VertexId v);
 
+// The materializing/counting entry points below route kMerge and kGalloping
+// through the runtime-dispatched SIMD kernel tables (setops/simd.hpp) and
+// stay bit-identical to the scalar loops for every table. `kernels` pins one
+// table (the per-plan ISA override threads through here); nullptr follows
+// the process-wide dispatch. kBinary stays a scalar probe loop — it exists
+// as the SIMT cost model's reference strategy, not a throughput path.
+
 /// a ∩ b appended to `out` (out is cleared first).
 void set_intersect_into(SetView a, SetView b, std::vector<VertexId>& out,
-                        IntersectAlgo algo = IntersectAlgo::kMerge);
+                        IntersectAlgo algo = IntersectAlgo::kMerge,
+                        const simd::Kernels* kernels = nullptr);
 std::vector<VertexId> set_intersect(SetView a, SetView b,
                                     IntersectAlgo algo = IntersectAlgo::kMerge);
 
 /// a \ b appended to `out` (out is cleared first).
-void set_difference_into(SetView a, SetView b, std::vector<VertexId>& out);
+void set_difference_into(SetView a, SetView b, std::vector<VertexId>& out,
+                         const simd::Kernels* kernels = nullptr);
 std::vector<VertexId> set_difference(SetView a, SetView b);
 
-/// |a ∩ b| without materializing.
-std::size_t set_intersect_count(SetView a, SetView b);
+/// |a ∩ b| without materializing. Auto-selects the galloping kernel when the
+/// size skew crosses simd::kGallopSkewRatio.
+std::size_t set_intersect_count(SetView a, SetView b,
+                                const simd::Kernels* kernels = nullptr);
 /// |a \ b| without materializing.
 std::size_t set_difference_count(SetView a, SetView b);
 

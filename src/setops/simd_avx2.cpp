@@ -1,0 +1,309 @@
+// AVX2 kernel table (8 x u32 lanes). Compiled with -mavx2 applied to this
+// translation unit only; the rest of the program stays at the baseline arch
+// and reaches these kernels through the runtime dispatch table, never by
+// direct call — so a non-AVX2 machine never executes an AVX2 instruction.
+//
+// Algorithms:
+//  - intersect / intersect_count / difference: block merge. Load one 8-lane
+//    block from each side, compare every a-lane against all 8 arrangements
+//    of the b-block (one half-swap permute + in-lane rotations + 8
+//    compares; see match_mask), then advance the block whose maximum is
+//    smaller (both on ties). Strictly-ascending
+//    inputs guarantee each a-lane matches at most one b element ever, so
+//    matched lanes can be emitted immediately (intersection) or accumulated
+//    until the a-block retires (difference: membership is only settled once
+//    every b-block that could contain a match has been compared).
+//    Intersection emits matched lanes with a scalar bit-scan (typical masks
+//    have 0-2 bits set; match_mask already saturates the shuffle port);
+//    difference retirement compacts the surviving lanes — usually most of
+//    the block — with a 256-entry permutation table and one permutevar8x32
+//    + store.
+//  - gallop_*: scalar exponential search per probe element, narrowed to a
+//    window of <= 8, then one broadcast-compare against the window block
+//    resolves the lower bound and membership in two instructions.
+//
+// Stores always write a full 8-lane vector and advance by popcount, so
+// every output buffer must have kSimdOutSlack lanes of headroom past the
+// logical result (set_ops.cpp's *_into wrappers provide it).
+//
+// Ordering comparisons bias both sides by 0x80000000 (unsigned compare via
+// signed cmpgt); equality is sign-agnostic. VertexId is bounded by
+// kMaxVertices < 2^31 in real graphs, but the kernels stay correct for the
+// full u32 range and the conformance suite exercises values past 2^31.
+#include "setops/simd.hpp"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <cstdint>
+
+namespace stm::simd {
+namespace {
+
+struct CompactTable {
+  alignas(32) std::uint32_t idx[256][8];
+};
+
+constexpr CompactTable make_compact_table() {
+  CompactTable t{};
+  for (int mask = 0; mask < 256; ++mask) {
+    int k = 0;
+    for (int lane = 0; lane < 8; ++lane)
+      if ((mask >> lane) & 1) t.idx[mask][k++] = static_cast<std::uint32_t>(lane);
+    for (; k < 8; ++k) t.idx[mask][k] = 0;
+  }
+  return t;
+}
+
+constexpr CompactTable kCompact = make_compact_table();
+
+/// 8-bit mask of a-lanes present anywhere in the b block.
+///
+/// Every a-lane must meet all 8 b-values, but full cyclic rotations would
+/// chain 7 cross-lane permutes (3-cycle latency each) back to back. Instead:
+/// one half-swap (the only cross-lane permute) plus the three in-lane
+/// rotations of each arrangement. Lane i then sees, across the 8 compares,
+/// b[(i & ~3) | ((i + r) & 3)] and b[((i ^ 4) & ~3) | ((i + r) & 3)] for
+/// r = 0..3 — all 8 elements. All permutes depend only on vb, so they
+/// pipeline, and the compares reduce through a balanced OR tree.
+inline std::uint32_t match_mask(__m256i va, __m256i vb) {
+  const __m256i vs = _mm256_permute4x64_epi64(vb, _MM_SHUFFLE(1, 0, 3, 2));
+  const __m256i e0 = _mm256_or_si256(_mm256_cmpeq_epi32(va, vb),
+                                     _mm256_cmpeq_epi32(va, vs));
+  const __m256i e1 = _mm256_or_si256(
+      _mm256_cmpeq_epi32(va,
+                         _mm256_shuffle_epi32(vb, _MM_SHUFFLE(0, 3, 2, 1))),
+      _mm256_cmpeq_epi32(va,
+                         _mm256_shuffle_epi32(vs, _MM_SHUFFLE(0, 3, 2, 1))));
+  const __m256i e2 = _mm256_or_si256(
+      _mm256_cmpeq_epi32(va,
+                         _mm256_shuffle_epi32(vb, _MM_SHUFFLE(1, 0, 3, 2))),
+      _mm256_cmpeq_epi32(va,
+                         _mm256_shuffle_epi32(vs, _MM_SHUFFLE(1, 0, 3, 2))));
+  const __m256i e3 = _mm256_or_si256(
+      _mm256_cmpeq_epi32(va,
+                         _mm256_shuffle_epi32(vb, _MM_SHUFFLE(2, 1, 0, 3))),
+      _mm256_cmpeq_epi32(va,
+                         _mm256_shuffle_epi32(vs, _MM_SHUFFLE(2, 1, 0, 3))));
+  const __m256i eq =
+      _mm256_or_si256(_mm256_or_si256(e0, e1), _mm256_or_si256(e2, e3));
+  return static_cast<std::uint32_t>(
+      _mm256_movemask_ps(_mm256_castsi256_ps(eq)));
+}
+
+/// Compacts the masked lanes of `va` to the front and stores all 8 lanes at
+/// out (headroom contract); returns the number of real elements.
+inline std::size_t emit_compacted(__m256i va, std::uint32_t mask,
+                                  VertexId* out) {
+  const __m256i perm = _mm256_load_si256(
+      reinterpret_cast<const __m256i*>(kCompact.idx[mask]));
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(out),
+                      _mm256_permutevar8x32_epi32(va, perm));
+  return static_cast<std::size_t>(_mm_popcnt_u32(mask));
+}
+
+std::size_t avx2_intersect(const VertexId* a, std::size_t an,
+                           const VertexId* b, std::size_t bn, VertexId* out) {
+  std::size_t i = 0, j = 0, o = 0;
+  while (i + 8 <= an && j + 8 <= bn) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + j));
+    std::uint32_t mask = match_mask(va, vb);
+    // Scalar bit-scan emission: ~1 match per block at typical densities, so
+    // extracting lanes with tzcnt beats the table + cross-lane-permute
+    // compaction (the permutes in match_mask already saturate the shuffle
+    // port) and skips empty masks outright.
+    for (; mask != 0; mask &= mask - 1)
+      out[o++] = a[i + static_cast<std::size_t>(__builtin_ctz(mask))];
+    const VertexId amax = a[i + 7], bmax = b[j + 7];
+    if (amax <= bmax) i += 8;
+    if (bmax <= amax) j += 8;
+  }
+  while (i < an && j < bn) {
+    if (a[i] < b[j])
+      ++i;
+    else if (b[j] < a[i])
+      ++j;
+    else {
+      out[o++] = a[i];
+      ++i;
+      ++j;
+    }
+  }
+  return o;
+}
+
+std::size_t avx2_intersect_count(const VertexId* a, std::size_t an,
+                                 const VertexId* b, std::size_t bn) {
+  std::size_t i = 0, j = 0, count = 0;
+  while (i + 8 <= an && j + 8 <= bn) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + j));
+    count += static_cast<std::size_t>(_mm_popcnt_u32(match_mask(va, vb)));
+    const VertexId amax = a[i + 7], bmax = b[j + 7];
+    if (amax <= bmax) i += 8;
+    if (bmax <= amax) j += 8;
+  }
+  while (i < an && j < bn) {
+    if (a[i] < b[j])
+      ++i;
+    else if (b[j] < a[i])
+      ++j;
+    else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+std::size_t avx2_difference(const VertexId* a, std::size_t an,
+                            const VertexId* b, std::size_t bn, VertexId* out) {
+  std::size_t i = 0, j = 0, o = 0;
+  std::uint32_t acc = 0;  // matched lanes of the current a block
+  while (i + 8 <= an && j + 8 <= bn) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + j));
+    acc |= match_mask(va, vb);
+    const VertexId amax = a[i + 7], bmax = b[j + 7];
+    if (amax <= bmax) {
+      // Every b element that could equal a lane of this block has been
+      // compared (later b blocks are strictly greater than amax): retire.
+      o += emit_compacted(va, ~acc & 0xFFu, out + o);
+      i += 8;
+      acc = 0;
+    }
+    if (bmax <= amax) j += 8;
+  }
+  // Scalar finish. `acc` carries verdicts for lanes [i, i+8) when the vector
+  // loop exited mid-block (b ran out of full blocks); for those lanes a set
+  // bit means "in b" with certainty, a clear bit still needs the remaining
+  // b tail checked.
+  const std::size_t block_start = i;
+  for (; i < an; ++i) {
+    if (i - block_start < 8 && ((acc >> (i - block_start)) & 1u)) continue;
+    while (j < bn && b[j] < a[i]) ++j;
+    if (j < bn && b[j] == a[i]) continue;
+    out[o++] = a[i];
+  }
+  return o;
+}
+
+/// Branch-free unsigned lower bound inside a narrowed window: one biased
+/// broadcast-compare counts the elements < v. Falls back to scalar when
+/// fewer than 8 elements remain loadable.
+inline std::size_t window_lower_bound(const VertexId* b, std::size_t bn,
+                                      std::size_t lo, std::size_t hi,
+                                      VertexId v) {
+  while (hi - lo > 8) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (b[mid] < v)
+      lo = mid + 1;
+    else
+      hi = mid;
+  }
+  if (lo + 8 <= bn) {
+    const __m256i bias = _mm256_set1_epi32(
+        static_cast<int>(0x80000000u));
+    const __m256i vv =
+        _mm256_xor_si256(_mm256_set1_epi32(static_cast<int>(v)), bias);
+    const __m256i vb = _mm256_xor_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + lo)), bias);
+    // Lanes with b < v. Values loaded past `hi` are >= b[hi] >= v, so they
+    // never set a bit and the count is exact for the window.
+    const int lt = _mm256_movemask_ps(
+        _mm256_castsi256_ps(_mm256_cmpgt_epi32(vv, vb)));
+    return lo + static_cast<std::size_t>(_mm_popcnt_u32(
+                    static_cast<std::uint32_t>(lt)));
+  }
+  while (lo < hi && b[lo] < v) ++lo;
+  return lo;
+}
+
+inline std::size_t gallop_lower_bound(const VertexId* b, std::size_t bn,
+                                      std::size_t lo, VertexId v) {
+  std::size_t step = 1, hi = lo;
+  while (hi < bn && b[hi] < v) {
+    lo = hi + 1;
+    hi += step;
+    step <<= 1;
+  }
+  if (hi > bn) hi = bn;
+  return window_lower_bound(b, bn, lo, hi, v);
+}
+
+std::size_t avx2_gallop_intersect(const VertexId* a, std::size_t an,
+                                  const VertexId* b, std::size_t bn,
+                                  VertexId* out) {
+  std::size_t lo = 0, o = 0;
+  for (std::size_t i = 0; i < an && lo < bn; ++i) {
+    lo = gallop_lower_bound(b, bn, lo, a[i]);
+    if (lo < bn && b[lo] == a[i]) {
+      out[o++] = a[i];
+      ++lo;
+    }
+  }
+  return o;
+}
+
+std::size_t avx2_gallop_intersect_count(const VertexId* a, std::size_t an,
+                                        const VertexId* b, std::size_t bn) {
+  std::size_t lo = 0, count = 0;
+  for (std::size_t i = 0; i < an && lo < bn; ++i) {
+    lo = gallop_lower_bound(b, bn, lo, a[i]);
+    if (lo < bn && b[lo] == a[i]) {
+      ++count;
+      ++lo;
+    }
+  }
+  return count;
+}
+
+std::size_t avx2_gallop_difference(const VertexId* a, std::size_t an,
+                                   const VertexId* b, std::size_t bn,
+                                   VertexId* out) {
+  std::size_t lo = 0, o = 0;
+  for (std::size_t i = 0; i < an; ++i) {
+    if (lo < bn) lo = gallop_lower_bound(b, bn, lo, a[i]);
+    if (lo < bn && b[lo] == a[i]) {
+      ++lo;
+      continue;
+    }
+    out[o++] = a[i];
+  }
+  return o;
+}
+
+constexpr Kernels kAvx2Kernels = {
+    IsaLevel::kAvx2,
+    avx2_intersect,
+    avx2_intersect_count,
+    avx2_difference,
+    avx2_gallop_intersect,
+    avx2_gallop_intersect_count,
+    avx2_gallop_difference,
+};
+
+}  // namespace
+
+namespace detail {
+const Kernels* avx2_kernels() { return &kAvx2Kernels; }
+}  // namespace detail
+
+}  // namespace stm::simd
+
+#else  // !defined(__AVX2__)
+
+namespace stm::simd::detail {
+const Kernels* avx2_kernels() { return nullptr; }
+}  // namespace stm::simd::detail
+
+#endif

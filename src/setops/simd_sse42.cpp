@@ -1,0 +1,256 @@
+// SSE4.2 kernel table (4 x u32 lanes). Same algorithms as the AVX2 table
+// (see simd_avx2.cpp for the correctness argument) at half the width:
+// block merge compares one a-block against all 4 rotations of the b-block,
+// compacts matched lanes through a 16-entry pshufb byte table, and the
+// galloping variants narrow to a 4-wide window resolved by one biased
+// broadcast-compare. Compiled with -msse4.2 on this TU only; reached solely
+// through the dispatch table.
+//
+// Stores write a full 4-lane vector, so outputs need the same
+// kSimdOutSlack headroom the AVX2 kernels require.
+#include "setops/simd.hpp"
+
+#if defined(__SSE4_2__)
+
+#include <nmmintrin.h>
+
+#include <cstdint>
+
+namespace stm::simd {
+namespace {
+
+struct CompactTable {
+  alignas(16) std::uint8_t idx[16][16];
+};
+
+// Byte-level shuffle indices moving the masked u32 lanes to the front.
+constexpr CompactTable make_compact_table() {
+  CompactTable t{};
+  for (int mask = 0; mask < 16; ++mask) {
+    int k = 0;
+    for (int lane = 0; lane < 4; ++lane) {
+      if ((mask >> lane) & 1) {
+        for (int byte = 0; byte < 4; ++byte)
+          t.idx[mask][k * 4 + byte] =
+              static_cast<std::uint8_t>(lane * 4 + byte);
+        ++k;
+      }
+    }
+    for (; k < 4; ++k)
+      for (int byte = 0; byte < 4; ++byte)
+        t.idx[mask][k * 4 + byte] = static_cast<std::uint8_t>(byte);
+  }
+  return t;
+}
+
+constexpr CompactTable kCompact = make_compact_table();
+
+/// 4-bit mask of a-lanes present anywhere in the b block.
+inline std::uint32_t match_mask(__m128i va, __m128i vb) {
+  __m128i eq = _mm_cmpeq_epi32(va, vb);
+  __m128i rot = _mm_shuffle_epi32(vb, _MM_SHUFFLE(0, 3, 2, 1));
+  eq = _mm_or_si128(eq, _mm_cmpeq_epi32(va, rot));
+  rot = _mm_shuffle_epi32(vb, _MM_SHUFFLE(1, 0, 3, 2));
+  eq = _mm_or_si128(eq, _mm_cmpeq_epi32(va, rot));
+  rot = _mm_shuffle_epi32(vb, _MM_SHUFFLE(2, 1, 0, 3));
+  eq = _mm_or_si128(eq, _mm_cmpeq_epi32(va, rot));
+  return static_cast<std::uint32_t>(_mm_movemask_ps(_mm_castsi128_ps(eq)));
+}
+
+inline std::size_t emit_compacted(__m128i va, std::uint32_t mask,
+                                  VertexId* out) {
+  const __m128i shuf =
+      _mm_load_si128(reinterpret_cast<const __m128i*>(kCompact.idx[mask]));
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out),
+                   _mm_shuffle_epi8(va, shuf));
+  return static_cast<std::size_t>(_mm_popcnt_u32(mask));
+}
+
+std::size_t sse42_intersect(const VertexId* a, std::size_t an,
+                            const VertexId* b, std::size_t bn, VertexId* out) {
+  std::size_t i = 0, j = 0, o = 0;
+  while (i + 4 <= an && j + 4 <= bn) {
+    const __m128i va =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i vb =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + j));
+    o += emit_compacted(va, match_mask(va, vb), out + o);
+    const VertexId amax = a[i + 3], bmax = b[j + 3];
+    if (amax <= bmax) i += 4;
+    if (bmax <= amax) j += 4;
+  }
+  while (i < an && j < bn) {
+    if (a[i] < b[j])
+      ++i;
+    else if (b[j] < a[i])
+      ++j;
+    else {
+      out[o++] = a[i];
+      ++i;
+      ++j;
+    }
+  }
+  return o;
+}
+
+std::size_t sse42_intersect_count(const VertexId* a, std::size_t an,
+                                  const VertexId* b, std::size_t bn) {
+  std::size_t i = 0, j = 0, count = 0;
+  while (i + 4 <= an && j + 4 <= bn) {
+    const __m128i va =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i vb =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + j));
+    count += static_cast<std::size_t>(_mm_popcnt_u32(match_mask(va, vb)));
+    const VertexId amax = a[i + 3], bmax = b[j + 3];
+    if (amax <= bmax) i += 4;
+    if (bmax <= amax) j += 4;
+  }
+  while (i < an && j < bn) {
+    if (a[i] < b[j])
+      ++i;
+    else if (b[j] < a[i])
+      ++j;
+    else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+std::size_t sse42_difference(const VertexId* a, std::size_t an,
+                             const VertexId* b, std::size_t bn,
+                             VertexId* out) {
+  std::size_t i = 0, j = 0, o = 0;
+  std::uint32_t acc = 0;  // matched lanes of the current a block
+  while (i + 4 <= an && j + 4 <= bn) {
+    const __m128i va =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i vb =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + j));
+    acc |= match_mask(va, vb);
+    const VertexId amax = a[i + 3], bmax = b[j + 3];
+    if (amax <= bmax) {
+      o += emit_compacted(va, ~acc & 0xFu, out + o);
+      i += 4;
+      acc = 0;
+    }
+    if (bmax <= amax) j += 4;
+  }
+  // Scalar finish; `acc` still holds settled membership bits for the current
+  // partial block (see simd_avx2.cpp).
+  const std::size_t block_start = i;
+  for (; i < an; ++i) {
+    if (i - block_start < 4 && ((acc >> (i - block_start)) & 1u)) continue;
+    while (j < bn && b[j] < a[i]) ++j;
+    if (j < bn && b[j] == a[i]) continue;
+    out[o++] = a[i];
+  }
+  return o;
+}
+
+inline std::size_t window_lower_bound(const VertexId* b, std::size_t bn,
+                                      std::size_t lo, std::size_t hi,
+                                      VertexId v) {
+  while (hi - lo > 4) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (b[mid] < v)
+      lo = mid + 1;
+    else
+      hi = mid;
+  }
+  if (lo + 4 <= bn) {
+    const __m128i bias = _mm_set1_epi32(static_cast<int>(0x80000000u));
+    const __m128i vv =
+        _mm_xor_si128(_mm_set1_epi32(static_cast<int>(v)), bias);
+    const __m128i vb = _mm_xor_si128(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + lo)), bias);
+    const int lt = _mm_movemask_ps(_mm_castsi128_ps(_mm_cmpgt_epi32(vv, vb)));
+    return lo + static_cast<std::size_t>(_mm_popcnt_u32(
+                    static_cast<std::uint32_t>(lt)));
+  }
+  while (lo < hi && b[lo] < v) ++lo;
+  return lo;
+}
+
+inline std::size_t gallop_lower_bound(const VertexId* b, std::size_t bn,
+                                      std::size_t lo, VertexId v) {
+  std::size_t step = 1, hi = lo;
+  while (hi < bn && b[hi] < v) {
+    lo = hi + 1;
+    hi += step;
+    step <<= 1;
+  }
+  if (hi > bn) hi = bn;
+  return window_lower_bound(b, bn, lo, hi, v);
+}
+
+std::size_t sse42_gallop_intersect(const VertexId* a, std::size_t an,
+                                   const VertexId* b, std::size_t bn,
+                                   VertexId* out) {
+  std::size_t lo = 0, o = 0;
+  for (std::size_t i = 0; i < an && lo < bn; ++i) {
+    lo = gallop_lower_bound(b, bn, lo, a[i]);
+    if (lo < bn && b[lo] == a[i]) {
+      out[o++] = a[i];
+      ++lo;
+    }
+  }
+  return o;
+}
+
+std::size_t sse42_gallop_intersect_count(const VertexId* a, std::size_t an,
+                                         const VertexId* b, std::size_t bn) {
+  std::size_t lo = 0, count = 0;
+  for (std::size_t i = 0; i < an && lo < bn; ++i) {
+    lo = gallop_lower_bound(b, bn, lo, a[i]);
+    if (lo < bn && b[lo] == a[i]) {
+      ++count;
+      ++lo;
+    }
+  }
+  return count;
+}
+
+std::size_t sse42_gallop_difference(const VertexId* a, std::size_t an,
+                                    const VertexId* b, std::size_t bn,
+                                    VertexId* out) {
+  std::size_t lo = 0, o = 0;
+  for (std::size_t i = 0; i < an; ++i) {
+    if (lo < bn) lo = gallop_lower_bound(b, bn, lo, a[i]);
+    if (lo < bn && b[lo] == a[i]) {
+      ++lo;
+      continue;
+    }
+    out[o++] = a[i];
+  }
+  return o;
+}
+
+constexpr Kernels kSse42Kernels = {
+    IsaLevel::kSse42,
+    sse42_intersect,
+    sse42_intersect_count,
+    sse42_difference,
+    sse42_gallop_intersect,
+    sse42_gallop_intersect_count,
+    sse42_gallop_difference,
+};
+
+}  // namespace
+
+namespace detail {
+const Kernels* sse42_kernels() { return &kSse42Kernels; }
+}  // namespace detail
+
+}  // namespace stm::simd
+
+#else  // !defined(__SSE4_2__)
+
+namespace stm::simd::detail {
+const Kernels* sse42_kernels() { return nullptr; }
+}  // namespace stm::simd::detail
+
+#endif

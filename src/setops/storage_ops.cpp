@@ -1,43 +1,160 @@
 #include "setops/storage_ops.hpp"
 
+#include <algorithm>
+
 namespace stm::storage {
 
-void cursor_intersect_into(ListCursor& cursor, stm::SetView other,
-                           std::vector<VertexId>& out) {
-  out.clear();
-  for (const VertexId x : other) {
-    cursor.seek_at_least(x);
-    if (cursor.done()) return;
-    if (cursor.value() == x) out.push_back(x);
+namespace {
+
+/// Elements decoded per run in the hybrid path: four anchor blocks, so every
+/// run but the last crosses anchor boundaries (the seam the PR-8 class of
+/// bugs lived on) and the SIMD kernels get full-width blocks to chew on.
+constexpr std::size_t kDecodeRun = 4 * kDefaultBlockSize;
+
+/// True when per-element galloping (decode <= one anchor block per probe)
+/// beats decoding runs: `other` much smaller than the compressed list.
+bool prefer_seeks(const ListCursor& cursor, stm::SetView other) {
+  return other.size() * stm::simd::kGallopSkewRatio < cursor.degree();
+}
+
+/// Decodes up to kDecodeRun elements from the cursor's current position.
+void decode_run(ListCursor& cursor, std::vector<VertexId>& run) {
+  run.clear();
+  while (!cursor.done() && run.size() < kDecodeRun) {
+    run.push_back(cursor.value());
+    cursor.advance();
   }
 }
 
-std::size_t cursor_intersect_count(ListCursor& cursor, stm::SetView other) {
-  std::size_t count = 0;
-  for (const VertexId x : other) {
-    cursor.seek_at_least(x);
+}  // namespace
+
+void cursor_intersect_into(ListCursor& cursor, stm::SetView other,
+                           std::vector<VertexId>& out,
+                           const stm::simd::Kernels* kernels) {
+  out.clear();
+  if (prefer_seeks(cursor, other)) {
+    for (const VertexId x : other) {
+      cursor.seek_at_least(x);
+      if (cursor.done()) return;
+      if (cursor.value() == x) out.push_back(x);
+    }
+    return;
+  }
+  const stm::simd::Kernels& k =
+      kernels != nullptr ? *kernels : stm::simd::kernels();
+  std::vector<VertexId> run;
+  std::size_t oi = 0;
+  while (oi < other.size()) {
+    cursor.seek_at_least(other[oi]);
+    if (cursor.done()) return;
+    decode_run(cursor, run);
+    // Slice of `other` overlapping [run.front(), run.back()]; elements below
+    // run.front() cannot match (the seek proved the list has nothing there).
+    const auto begin = other.begin() + static_cast<std::ptrdiff_t>(oi);
+    const std::size_t mid = static_cast<std::size_t>(
+        std::lower_bound(begin, other.end(), run.front()) - other.begin());
+    const std::size_t hi = static_cast<std::size_t>(
+        std::upper_bound(other.begin() + static_cast<std::ptrdiff_t>(mid),
+                         other.end(), run.back()) -
+        other.begin());
+    const std::size_t base = out.size();
+    out.resize(base + std::min(run.size(), hi - mid) +
+               stm::simd::kSimdOutSlack);
+    const std::size_t n = k.intersect(other.data() + mid, hi - mid,
+                                      run.data(), run.size(),
+                                      out.data() + base);
+    out.resize(base + n);
+    oi = hi;
+  }
+}
+
+std::size_t cursor_intersect_count(ListCursor& cursor, stm::SetView other,
+                                   const stm::simd::Kernels* kernels) {
+  if (prefer_seeks(cursor, other)) {
+    std::size_t count = 0;
+    for (const VertexId x : other) {
+      cursor.seek_at_least(x);
+      if (cursor.done()) break;
+      if (cursor.value() == x) ++count;
+    }
+    return count;
+  }
+  const stm::simd::Kernels& k =
+      kernels != nullptr ? *kernels : stm::simd::kernels();
+  std::vector<VertexId> run;
+  std::size_t oi = 0, count = 0;
+  while (oi < other.size()) {
+    cursor.seek_at_least(other[oi]);
     if (cursor.done()) break;
-    if (cursor.value() == x) ++count;
+    decode_run(cursor, run);
+    const auto begin = other.begin() + static_cast<std::ptrdiff_t>(oi);
+    const std::size_t mid = static_cast<std::size_t>(
+        std::lower_bound(begin, other.end(), run.front()) - other.begin());
+    const std::size_t hi = static_cast<std::size_t>(
+        std::upper_bound(other.begin() + static_cast<std::ptrdiff_t>(mid),
+                         other.end(), run.back()) -
+        other.begin());
+    count += k.intersect_count(other.data() + mid, hi - mid, run.data(),
+                               run.size());
+    oi = hi;
   }
   return count;
 }
 
 void cursor_difference_into(ListCursor& cursor, stm::SetView other,
-                            std::vector<VertexId>& out) {
+                            std::vector<VertexId>& out,
+                            const stm::simd::Kernels* kernels) {
   out.clear();
-  for (const VertexId x : other) {
-    cursor.seek_at_least(x);
-    if (cursor.done() || cursor.value() != x) out.push_back(x);
+  if (prefer_seeks(cursor, other)) {
+    for (const VertexId x : other) {
+      cursor.seek_at_least(x);
+      if (cursor.done() || cursor.value() != x) out.push_back(x);
+    }
+    return;
   }
+  const stm::simd::Kernels& k =
+      kernels != nullptr ? *kernels : stm::simd::kernels();
+  std::vector<VertexId> run;
+  std::size_t oi = 0;
+  while (oi < other.size()) {
+    cursor.seek_at_least(other[oi]);
+    if (cursor.done()) break;
+    decode_run(cursor, run);
+    // other[oi, mid) sits strictly below run.front(): the seek proved the
+    // list is absent there, so those elements all survive the difference.
+    const auto begin = other.begin() + static_cast<std::ptrdiff_t>(oi);
+    const std::size_t mid = static_cast<std::size_t>(
+        std::lower_bound(begin, other.end(), run.front()) - other.begin());
+    out.insert(out.end(), begin,
+               other.begin() + static_cast<std::ptrdiff_t>(mid));
+    const std::size_t hi = static_cast<std::size_t>(
+        std::upper_bound(other.begin() + static_cast<std::ptrdiff_t>(mid),
+                         other.end(), run.back()) -
+        other.begin());
+    const std::size_t base = out.size();
+    out.resize(base + (hi - mid) + stm::simd::kSimdOutSlack);
+    const std::size_t n = k.difference(other.data() + mid, hi - mid,
+                                       run.data(), run.size(),
+                                       out.data() + base);
+    out.resize(base + n);
+    oi = hi;
+  }
+  // Past the end of the compressed list everything in `other` survives.
+  out.insert(out.end(), other.begin() + static_cast<std::ptrdiff_t>(oi),
+             other.end());
 }
 
-std::size_t cursor_difference_count(ListCursor& cursor, stm::SetView other) {
-  std::size_t count = 0;
-  for (const VertexId x : other) {
-    cursor.seek_at_least(x);
-    if (cursor.done() || cursor.value() != x) ++count;
+std::size_t cursor_difference_count(ListCursor& cursor, stm::SetView other,
+                                    const stm::simd::Kernels* kernels) {
+  if (prefer_seeks(cursor, other)) {
+    std::size_t count = 0;
+    for (const VertexId x : other) {
+      cursor.seek_at_least(x);
+      if (cursor.done() || cursor.value() != x) ++count;
+    }
+    return count;
   }
-  return count;
+  return other.size() - cursor_intersect_count(cursor, other, kernels);
 }
 
 void bitset_intersect_into(const DynamicBitset& bits, stm::SetView other,

@@ -19,23 +19,36 @@
 
 namespace stm::storage {
 
+// The cursor variants pick between two bit-exact strategies by skew: when
+// `other` is much smaller than the compressed list, each element gallops via
+// seek_at_least (decoding at most one anchor block per probe, as before);
+// otherwise the list is decoded in runs of whole anchor blocks and each run
+// is combined with the matching slice of `other` through the dispatched SIMD
+// kernels (setops/simd.hpp) — seek_at_least still skips runs `other` never
+// touches. `kernels` pins a table for tests; nullptr follows the dispatch.
+
 /// compressed ∩ sorted appended to `out` (cleared first). `cursor` is
 /// consumed (left at end of list). Result is the intersection of the
 /// cursor's full list with `other`.
 void cursor_intersect_into(ListCursor& cursor, stm::SetView other,
-                           std::vector<VertexId>& out);
+                           std::vector<VertexId>& out,
+                           const stm::simd::Kernels* kernels = nullptr);
 
 /// |compressed ∩ sorted| without materializing either side.
-std::size_t cursor_intersect_count(ListCursor& cursor, stm::SetView other);
+std::size_t cursor_intersect_count(ListCursor& cursor, stm::SetView other,
+                                   const stm::simd::Kernels* kernels = nullptr);
 
 /// sorted \ compressed appended to `out` (cleared first): elements of
 /// `other` not present in the cursor's list. (The engines' difference
 /// operand order: candidate set minus an adjacency list.)
 void cursor_difference_into(ListCursor& cursor, stm::SetView other,
-                            std::vector<VertexId>& out);
+                            std::vector<VertexId>& out,
+                            const stm::simd::Kernels* kernels = nullptr);
 
 /// |sorted \ compressed| without materializing.
-std::size_t cursor_difference_count(ListCursor& cursor, stm::SetView other);
+std::size_t cursor_difference_count(
+    ListCursor& cursor, stm::SetView other,
+    const stm::simd::Kernels* kernels = nullptr);
 
 /// bitset ∩ sorted appended to `out` (cleared first).
 void bitset_intersect_into(const DynamicBitset& bits, stm::SetView other,

@@ -218,8 +218,8 @@ bool shrink_config(TestCase& c, Prober& prober) {
         return std::exchange(t.host.chunk_size, VertexId{1}) != 1u;
       },
       [](TestCase& t) { return !std::exchange(t.plan.code_motion, true); },
-      // Storage-backend reset last: a failure that survives on the raw CSR
-      // is an engine bug, not a storage bug, and the repro should say so.
+      // Storage-backend reset near-last: a failure that survives on the raw
+      // CSR is an engine bug, not a storage bug, and the repro should say so.
       [](TestCase& t) {
         const bool changed =
             t.storage_backend != storage::Backend::kUncompressed ||
@@ -227,6 +227,14 @@ bool shrink_config(TestCase& c, Prober& prober) {
         t.storage_backend = storage::Backend::kUncompressed;
         t.storage_budget_bytes = 0;
         return changed;
+      },
+      // ISA-knob reset very last: a failure that survives on the auto
+      // dispatch is not a kernel-table bug; one that only reproduces under
+      // a pinned table is exactly the bit-exactness break the ISA lane
+      // hunts, and the repro must keep the pin.
+      [](TestCase& t) {
+        return std::exchange(t.forced_isa, simd::IsaChoice::kAuto) !=
+               simd::IsaChoice::kAuto;
       },
   };
   for (const auto& step : steps) {

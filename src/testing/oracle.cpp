@@ -17,6 +17,7 @@
 #include "pattern/matching_order.hpp"
 #include "service/service.hpp"
 #include "service/stream.hpp"
+#include "setops/simd.hpp"
 #include "storage/store.hpp"
 #include "util/check.hpp"
 
@@ -288,6 +289,18 @@ void run_storage_lane(const TestCase& c, const MatchingPlan& plan,
 
 OracleReport run_oracle(const TestCase& c, const OracleOptions& opts) {
   STM_CHECK_MSG(c.pattern.size() >= 1, "test case has an empty pattern");
+  // ISA lane: the whole oracle (every engine, every storage backend) runs
+  // under the case's sampled kernel table, so every cross-engine agreement
+  // check doubles as a SIMD-vs-scalar bit-exactness proof on whole-query
+  // counts. Case generation samples the knob machine-independently; a level
+  // this build or CPU lacks degrades to the auto dispatch here.
+  simd::IsaChoice isa_choice = c.forced_isa;
+  if (isa_choice != simd::IsaChoice::kAuto &&
+      !simd::is_supported(static_cast<simd::IsaLevel>(
+          static_cast<std::uint8_t>(isa_choice) - 1)))
+    isa_choice = simd::IsaChoice::kAuto;
+  const simd::ScopedForceIsa forced_isa(isa_choice);
+
   OracleReport report;
 
   const ReferenceOptions ref_opts{c.plan.induced, c.plan.count_mode};

@@ -156,6 +156,8 @@ std::string to_repro(const TestCase& c) {
     os << "storage " << storage::to_string(c.storage_backend) << " "
        << c.storage_budget_bytes << "\n";
   }
+  if (c.forced_isa != simd::IsaChoice::kAuto)
+    os << "isa " << simd::to_string(c.forced_isa) << "\n";
   os << "end\n";
   return os.str();
 }
@@ -269,13 +271,20 @@ TestCase from_repro(const std::string& text) {
   STM_CHECK_MSG(c.host.num_threads >= 1 && c.host.chunk_size >= 1,
                 "repro: host knobs must be >= 1 in \"" << reader.raw() << "\"");
 
-  reader.require_next("'storage' or 'end'");
+  reader.require_next("'storage', 'isa' or 'end'");
   if (reader.key_is("storage")) {
     reader.expect_arity(2);
     STM_CHECK_MSG(
         storage::backend_from_string(reader.tokens()[1], c.storage_backend),
         "repro: unknown storage backend in \"" << reader.raw() << "\"");
     c.storage_budget_bytes = reader.u64(2);
+    reader.require_next("'isa' or 'end'");
+  }
+  if (reader.key_is("isa")) {
+    reader.expect_arity(1);
+    STM_CHECK_MSG(
+        simd::isa_choice_from_string(reader.tokens()[1].c_str(), &c.forced_isa),
+        "repro: unknown isa choice in \"" << reader.raw() << "\"");
     reader.require_next("'end'");
   }
   reader.expect_key("end");

@@ -296,6 +296,14 @@ TestCase random_case(std::uint64_t seed, const WorkloadOptions& opts) {
   c.storage_backend = kBackends[storage_rng.next_below(4)];
   if (c.storage_backend == storage::Backend::kSpill)
     c.storage_budget_bytes = 512ull << storage_rng.next_below(3);
+  // ISA-lane knob from a fourth derived stream: half the cases stay on the
+  // auto dispatch, the rest pin one kernel table (clamped by the oracle if
+  // this machine lacks it).
+  Rng isa_rng(seed ^ 0x165667b19e3779f9ULL);
+  static constexpr simd::IsaChoice kIsaChoices[] = {
+      simd::IsaChoice::kAuto, simd::IsaChoice::kScalar,
+      simd::IsaChoice::kSse42, simd::IsaChoice::kAvx2};
+  c.forced_isa = kIsaChoices[isa_rng.next_below(4)];
   return c;
 }
 
@@ -320,6 +328,8 @@ std::string describe(const TestCase& c) {
      << " storage=" << storage::to_string(c.storage_backend);
   if (c.storage_backend == storage::Backend::kSpill)
     os << "/" << c.storage_budget_bytes << "B";
+  if (c.forced_isa != simd::IsaChoice::kAuto)
+    os << " isa=" << simd::to_string(c.forced_isa);
   return os.str();
 }
 

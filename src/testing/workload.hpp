@@ -101,6 +101,12 @@ struct TestCase {
   /// Spill-backend page-cache budget, deliberately tiny so fuzz-sized
   /// graphs still churn through eviction.
   std::uint64_t storage_budget_bytes = 0;
+  /// ISA-lane knob (own derived stream): the SIMD kernel table the oracle
+  /// forces for the whole case, so SIMD vs scalar bit-exactness is fuzzed
+  /// on whole-query counts. Sampled uniformly over all choices regardless
+  /// of what this machine supports (generation stays a pure function of the
+  /// seed everywhere); the oracle degrades unsupported levels to kAuto.
+  simd::IsaChoice forced_isa = simd::IsaChoice::kAuto;
 };
 
 /// The fully derived case of `seed`: same seed, same case, bit for bit.

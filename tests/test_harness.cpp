@@ -9,6 +9,7 @@
 #include <string>
 
 #include "pattern/matching_order.hpp"
+#include "setops/simd.hpp"
 #include "testing/metamorphic.hpp"
 #include "testing/minimize.hpp"
 #include "testing/oracle.hpp"
@@ -101,6 +102,16 @@ TEST(HarnessWorkload, GeneratedCasesAreWellFormed) {
   }
   // 80 draws cover every family with overwhelming probability.
   EXPECT_EQ(families.size(), harness::kNumGraphFamilies);
+}
+
+TEST(HarnessWorkload, IsaLaneSamplesEveryChoice) {
+  // The ISA knob rides its own derived stream, so a modest seed sweep must
+  // hit all four choices — including levels this machine may not support
+  // (generation is machine-independent; the oracle does the degrading).
+  std::set<simd::IsaChoice> seen;
+  for (std::uint64_t seed = 0; seed < 64; ++seed)
+    seen.insert(random_case(derive_seed(11, seed)).forced_isa);
+  EXPECT_EQ(seen.size(), 4u);
 }
 
 TEST(HarnessWorkload, FamilyNamesRoundTrip) {
@@ -271,7 +282,23 @@ TEST(HarnessRepro, RoundTripsEveryField) {
     EXPECT_EQ(back.plan.count_mode, c.plan.count_mode);
     EXPECT_EQ(back.simt.unroll, c.simt.unroll);
     EXPECT_EQ(back.host.num_threads, c.host.num_threads);
+    EXPECT_EQ(back.forced_isa, c.forced_isa);
   }
+}
+
+TEST(HarnessRepro, IsaLineRoundTripsAndRejectsUnknownNames) {
+  TestCase c = random_case(7);
+  c.forced_isa = simd::IsaChoice::kAuto;
+  EXPECT_EQ(to_repro(c).find("isa "), std::string::npos)
+      << "default choice must not be serialized";
+  c.forced_isa = simd::IsaChoice::kAvx2;
+  const std::string text = to_repro(c);
+  EXPECT_NE(text.find("isa avx2\n"), std::string::npos) << text;
+  EXPECT_EQ(from_repro(text).forced_isa, simd::IsaChoice::kAvx2);
+
+  std::string bad = text;
+  bad.replace(bad.find("isa avx2"), 8, "isa mmx!");
+  EXPECT_THROW(from_repro(bad), check_error);
 }
 
 TEST(HarnessRepro, ReplayedCaseProducesSameOracleVerdict) {
