@@ -178,6 +178,15 @@ GraphSession::GraphSession(Boot boot)
           "Registration-time full-enumeration ms / last batch delta ms")),
       standing_queries_(
           metrics_.gauge("standing_queries", "Registered standing queries")),
+      standing_patterns_(metrics_.gauge(
+          "standing_patterns",
+          "Distinct canonical pattern groups in the standing-query index")),
+      trie_nodes_(metrics_.gauge(
+          "trie_nodes", "Nodes of the shared-prefix plan trie")),
+      shared_prefix_ratio_(metrics_.gauge(
+          "shared_prefix_ratio",
+          "Fraction of per-plan enumeration levels served by a shared trie "
+          "prefix (1 - nodes / plan positions)")),
       shard_imbalance_(metrics_.gauge(
           "shard_imbalance",
           "Max/mean per-shard edge load (intra + half incident cut)")),
@@ -205,6 +214,10 @@ GraphSession::GraphSession(Boot boot)
       incremental_latency_ms_(metrics_.histogram(
           "incremental_latency_ms",
           "Standing-query delta computation time per batch")),
+      indexed_delta_latency_ms_(metrics_.histogram(
+          "indexed_delta_latency_ms",
+          "Shared trie-pass wall time per batch (serves every standing "
+          "query at once; indexed mode only)")),
       stream_backpressure_ms_(metrics_.histogram(
           "stream_backpressure_ms",
           "Producer wall time blocked on stream backpressure, per stream")),
@@ -269,10 +282,15 @@ GraphSession::GraphSession(Boot boot)
           break;
         case persist::WalRecordType::kUnregisterStanding:
           standing_.erase(r.standing_id);
+          if (cfg_.standing_index) standing_index_.remove(r.standing_id);
           break;
       }
     }
     standing_queries_.set(static_cast<double>(standing_.size()));
+    if (cfg_.standing_index) {
+      std::lock_guard<std::mutex> standing_lock(standing_mu_);
+      publish_index_metrics();
+    }
     graph_epoch_.set(static_cast<double>(dyn_.epoch()));
     // Fold the replayed deltas back into a flat CSR: post-recovery queries
     // (and a sharded partition build) should not pay the overlay tax for
@@ -954,6 +972,14 @@ void GraphSession::apply_standing_deltas(
   // The anchored delta enumerations read the pre-batch snapshot.
   const auto storage_lease = from->storage_lease();
   std::lock_guard<std::mutex> standing_lock(standing_mu_);
+  if (cfg_.standing_index) {
+    apply_standing_deltas_indexed(from, applied, epoch, out);
+    if (out != nullptr) {
+      out->incremental_ms = inc_timer.elapsed_ms();
+      incremental_latency_ms_.observe(out->incremental_ms);
+    }
+    return;
+  }
   for (auto& [id, sq] : standing_) {
     Timer one;
     const DeltaMatchResult d = sq.matcher->count_delta(from, applied);
@@ -1003,12 +1029,68 @@ void GraphSession::apply_standing_deltas(
   }
 }
 
+void GraphSession::apply_standing_deltas_indexed(
+    const std::shared_ptr<const GraphSnapshot>& from, const DeltaEdges& applied,
+    std::uint64_t epoch, UpdateOutcome* out) {
+  if (standing_.empty()) return;
+  Timer shared_timer;
+  const mqo::MultiQueryEvaluator evaluator(standing_index_);
+  const mqo::EvalResult res = evaluator.evaluate(from, applied);
+  const double shared_ms = shared_timer.elapsed_ms();
+  indexed_delta_latency_ms_.observe(shared_ms);
+  // One trie pass served every registration; a query's reported delta_ms is
+  // its amortized share of the pass.
+  const double amortized_ms = shared_ms / static_cast<double>(standing_.size());
+  for (auto& [id, sq] : standing_) {
+    mqo::QueryDelta qd = standing_index_.project(id, res);
+    sq.count = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(sq.count) + qd.delta);
+    sq.epoch = epoch;
+    ++sq.batches;
+    if (sq.full_ms > 0.0 && amortized_ms > 0.0) {
+      delta_speedup_.set(sq.full_ms / amortized_ms);
+    }
+    StandingQueryUpdate upd;
+    upd.query_id = id;
+    upd.epoch = epoch;
+    upd.delta = qd.delta;
+    upd.count = sq.count;
+    upd.delta_ms = amortized_ms;
+    if (sq.on_update) sq.on_update(upd);
+    if (out != nullptr) out->updates.push_back(std::move(upd));
+
+    if (sq.on_delta) {
+      // Counts and embedding lists come from the same walk here, but the
+      // projection arithmetic (|Aut| division, remap) is independent; keep
+      // the same cross-check the per-pattern path enforces.
+      STM_CHECK_MSG(static_cast<std::int64_t>(qd.added.size()) -
+                            static_cast<std::int64_t>(qd.retracted.size()) ==
+                        qd.delta,
+                    "standing query " << id << ": embedding delta "
+                                      << qd.added.size() << " - "
+                                      << qd.retracted.size()
+                                      << " disagrees with count delta "
+                                      << qd.delta);
+      StandingQueryDelta sd;
+      sd.query_id = id;
+      sd.epoch = epoch;
+      sd.delta_ms = amortized_ms;
+      sd.added = std::move(qd.added);
+      sd.retracted = std::move(qd.retracted);
+      sq.on_delta(sd);
+    }
+  }
+}
+
 std::uint64_t GraphSession::register_standing_query(StandingQueryConfig cfg) {
   // Baseline: one full enumeration on the current version. Serialized with
   // the update path so the (count, epoch) pair is consistent — a batch
   // applied concurrently would otherwise race the baseline.
   std::lock_guard<std::mutex> lock(update_mu_);
   const std::shared_ptr<const GraphSnapshot> snap = dyn_.snapshot();
+  if (cfg_.standing_index) {
+    return register_standing_indexed(std::move(cfg), snap);
+  }
 
   IncrementalOptions inc_opts;
   inc_opts.plan = cfg.plan;
@@ -1061,6 +1143,76 @@ std::uint64_t GraphSession::register_standing_query(StandingQueryConfig cfg) {
   return id;
 }
 
+std::uint64_t GraphSession::register_standing_indexed(
+    StandingQueryConfig cfg, const std::shared_ptr<const GraphSnapshot>& snap) {
+  // Everything the per-pattern path would reject fails here, before any
+  // side effect (WAL append, index mutation) — a validated add() below
+  // cannot fail halfway.
+  mqo::PatternIndex::validate(cfg.pattern, cfg.plan);
+  if (cfg.on_delta) {
+    STM_CHECK_MSG(cfg.plan.count_mode == CountMode::kEmbeddings,
+                  "standing delta streams require kEmbeddings count mode: a "
+                  "subgraph can have several embeddings, so retraction of 'a "
+                  "subgraph' is ill-defined at embedding granularity");
+  }
+
+  // Baseline count. A canonical-group sibling's standing count converts
+  // arithmetically (both modes relate by the group's |Aut| factor), so
+  // duplicate registrations — the at-scale common case — cost no
+  // enumeration at all. standing_/index reads are safe here: writers are
+  // serialized by update_mu_, which the caller holds.
+  std::uint64_t count = 0;
+  double full_ms = 0.0;
+  const std::optional<std::uint64_t> sibling =
+      standing_index_.any_member(cfg.pattern);
+  if (sibling.has_value()) {
+    const StandingQuery& sib = standing_.at(*sibling);
+    const std::uint64_t aut = standing_index_.automorphisms(*sibling);
+    const std::uint64_t embeddings =
+        sib.count *
+        (sib.plan.count_mode == CountMode::kUniqueSubgraphs ? aut : 1);
+    count = cfg.plan.count_mode == CountMode::kUniqueSubgraphs
+                ? embeddings / aut
+                : embeddings;
+  } else {
+    auto plan = plan_cache_.get_or_compile(cfg.pattern, cfg.plan, snap->epoch());
+    HostEngineConfig host;
+    host.num_threads = std::max<std::size_t>(1, cfg_.host_threads_per_query);
+    Timer full_timer;
+    const auto storage_lease = snap->storage_lease();
+    count = host_match(snap->view(), *plan, host).count;
+    full_ms = full_timer.elapsed_ms();
+  }
+
+  StandingQuery sq;
+  sq.pattern = cfg.pattern;
+  sq.on_update = std::move(cfg.on_update);
+  sq.on_delta = std::move(cfg.on_delta);
+  sq.count = count;
+  sq.epoch = snap->epoch();
+  sq.full_ms = full_ms;
+  sq.plan = cfg.plan;
+  sq.engine = cfg.engine;
+
+  std::lock_guard<std::mutex> standing_lock(standing_mu_);
+  const std::uint64_t id = next_standing_id_;
+  if (persist_ != nullptr) {
+    const persist::WalAppendResult res =
+        persist_->log_register(standing_entry(id, sq), snap->epoch());
+    wal_appended_bytes_.inc(res.bytes);
+    if (res.faults > 0) {
+      faults_injected_total_.inc(res.faults);
+      recovery_units_total_.inc(1);
+    }
+  }
+  ++next_standing_id_;
+  standing_index_.add(id, sq.pattern, sq.plan, static_cast<bool>(sq.on_delta));
+  standing_.emplace(id, std::move(sq));
+  standing_queries_.set(static_cast<double>(standing_.size()));
+  publish_index_metrics();
+  return id;
+}
+
 bool GraphSession::unregister_standing_query(std::uint64_t id) {
   // Serialized with the update path so the unregistration's WAL position is
   // unambiguous relative to update records.
@@ -1078,8 +1230,24 @@ bool GraphSession::unregister_standing_query(std::uint64_t id) {
     }
   }
   standing_.erase(it);
+  if (cfg_.standing_index) {
+    standing_index_.remove(id);
+    publish_index_metrics();
+  }
   standing_queries_.set(static_cast<double>(standing_.size()));
   return true;
+}
+
+void GraphSession::publish_index_metrics() {
+  const mqo::IndexStats st = standing_index_.stats();
+  standing_patterns_.set(static_cast<double>(st.groups));
+  trie_nodes_.set(static_cast<double>(st.trie.nodes));
+  shared_prefix_ratio_.set(st.trie.shared_prefix_ratio);
+}
+
+mqo::IndexStats GraphSession::standing_index_stats() const {
+  std::lock_guard<std::mutex> lock(standing_mu_);
+  return standing_index_.stats();
 }
 
 std::optional<StandingQueryInfo> GraphSession::standing_query(
@@ -1120,11 +1288,13 @@ void GraphSession::restore_standing(const persist::StandingEntry& entry) {
   // registering fresh queries.
   StandingQuery sq;
   sq.pattern = Pattern::parse(entry.pattern);
-  IncrementalOptions inc_opts;
-  inc_opts.plan = entry.plan;
-  inc_opts.engine = entry.engine;
-  sq.matcher =
-      std::make_shared<const IncrementalMatcher>(sq.pattern, inc_opts);
+  if (!cfg_.standing_index) {
+    IncrementalOptions inc_opts;
+    inc_opts.plan = entry.plan;
+    inc_opts.engine = entry.engine;
+    sq.matcher =
+        std::make_shared<const IncrementalMatcher>(sq.pattern, inc_opts);
+  }
   sq.count = entry.count;
   sq.epoch = entry.epoch;
   sq.batches = entry.batches;
@@ -1132,6 +1302,15 @@ void GraphSession::restore_standing(const persist::StandingEntry& entry) {
   sq.plan = entry.plan;
   sq.engine = entry.engine;
   std::lock_guard<std::mutex> lock(standing_mu_);
+  if (cfg_.standing_index) {
+    // add() replaces an existing id, mirroring insert_or_assign below, so a
+    // checkpoint-manifest entry superseded by a WAL record rebuilds the
+    // exact same trie state (delta streamers do not survive a restart, so
+    // restored registrations never collect embeddings).
+    standing_index_.add(entry.id, sq.pattern, entry.plan,
+                        /*wants_embeddings=*/false);
+    publish_index_metrics();
+  }
   standing_.insert_or_assign(entry.id, std::move(sq));
 }
 

@@ -53,6 +53,7 @@
 #include "dynamic/dynamic_graph.hpp"
 #include "dynamic/incremental.hpp"
 #include "graph/graph.hpp"
+#include "mqo/evaluator.hpp"
 #include "pattern/pattern.hpp"
 #include "persist/manager.hpp"
 #include "service/admission.hpp"
@@ -270,6 +271,15 @@ struct SessionConfig {
   /// manifest, and construction runs crash recovery against whatever the
   /// directory holds (checkpoint load + WAL tail replay).
   persist::PersistenceConfig persistence;
+  /// Standing-query evaluation mode (DESIGN.md §16). false: every
+  /// registered pattern runs its own IncrementalMatcher/DeltaStreamer per
+  /// applied batch (cost linear in registrations). true: registrations land
+  /// in a shared-prefix plan trie (src/mqo/) and each batch runs ONE
+  /// anchored enumeration pass per delta edge serving every standing query
+  /// at once — per-query deltas are bit-identical to the per-pattern loop.
+  /// Indexed evaluation always enumerates on the host recursion;
+  /// StandingQueryConfig::engine is recorded but not consulted.
+  bool standing_index = false;
   /// Graph-storage backend (DESIGN.md §14): kUncompressed serves the raw
   /// CSR; compressed backends re-encode the base graph (and every compacted
   /// successor) behind the GraphView seam, so engines never know which one
@@ -376,6 +386,10 @@ class GraphSession {
   /// Current state of a standing query, if registered.
   std::optional<StandingQueryInfo> standing_query(std::uint64_t id) const;
 
+  /// Shared-index observability: registrations, canonical groups, and trie
+  /// shape (all-zero when SessionConfig::standing_index is off).
+  mqo::IndexStats standing_index_stats() const;
+
   /// Blocks until every submitted query has completed.
   void drain();
 
@@ -446,6 +460,20 @@ class GraphSession {
   void apply_standing_deltas(const std::shared_ptr<const GraphSnapshot>& from,
                              const DeltaEdges& applied, std::uint64_t epoch,
                              UpdateOutcome* out);
+  /// Indexed-mode body of apply_standing_deltas: one shared trie pass, then
+  /// per-registration projection + delivery. Caller holds standing_mu_.
+  void apply_standing_deltas_indexed(
+      const std::shared_ptr<const GraphSnapshot>& from,
+      const DeltaEdges& applied, std::uint64_t epoch, UpdateOutcome* out);
+  /// Indexed-mode body of register_standing_query (caller holds update_mu_):
+  /// duplicate registrations take their baseline from a canonical-group
+  /// sibling's standing count instead of re-enumerating the graph.
+  std::uint64_t register_standing_indexed(
+      StandingQueryConfig cfg,
+      const std::shared_ptr<const GraphSnapshot>& snap);
+  /// Publishes standing_patterns / trie_nodes / shared_prefix_ratio from the
+  /// index. Caller holds standing_mu_.
+  void publish_index_metrics();
 
   /// Pre-construction state assembly: runs recovery (when persistence is
   /// on) so the member graph can be built directly at the checkpointed
@@ -510,6 +538,10 @@ class GraphSession {
   std::mutex update_mu_;
   mutable std::mutex standing_mu_;
   std::map<std::uint64_t, StandingQuery> standing_;
+  /// The shared-prefix pattern index (used iff cfg_.standing_index). Reads
+  /// are safe under either update_mu_ or standing_mu_; writes happen under
+  /// both (registration/unregistration) or during single-threaded boot.
+  mqo::PatternIndex standing_index_;
   std::uint64_t next_standing_id_ = 1;
 
   std::mutex tokens_mu_;
@@ -573,6 +605,9 @@ class GraphSession {
   Gauge& graph_epoch_;
   Gauge& delta_speedup_;
   Gauge& standing_queries_;
+  Gauge& standing_patterns_;
+  Gauge& trie_nodes_;
+  Gauge& shared_prefix_ratio_;
   Gauge& shard_imbalance_;
   Gauge& cut_edge_fraction_;
   Gauge& open_streams_;
@@ -584,6 +619,7 @@ class GraphSession {
   Histogram& queue_wait_ms_;
   Histogram& update_latency_ms_;
   Histogram& incremental_latency_ms_;
+  Histogram& indexed_delta_latency_ms_;
   Histogram& stream_backpressure_ms_;
   Histogram& checkpoint_duration_ms_;
 

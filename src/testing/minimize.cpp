@@ -195,6 +195,36 @@ bool shrink_pattern(TestCase& c, Prober& prober) {
   return progress;
 }
 
+/// Shrinks the registered-pattern axis of the multi-query lane: drop every
+/// extra standing pattern at once, then one at a time, keeping only what
+/// the failure needs.
+bool shrink_mqo(TestCase& c, Prober& prober) {
+  bool progress = false;
+  if (!c.mqo_patterns.empty() && !prober.exhausted()) {
+    TestCase candidate = c;
+    candidate.mqo_patterns.clear();
+    if (prober.still_fails(candidate)) {
+      c = std::move(candidate);
+      return true;
+    }
+  }
+  bool changed = true;
+  while (changed && !prober.exhausted()) {
+    changed = false;
+    for (std::size_t i = 0; i < c.mqo_patterns.size(); ++i) {
+      TestCase candidate = c;
+      candidate.mqo_patterns.erase(candidate.mqo_patterns.begin() +
+                                   static_cast<std::ptrdiff_t>(i));
+      if (prober.still_fails(candidate)) {
+        c = std::move(candidate);
+        progress = changed = true;
+        break;
+      }
+    }
+  }
+  return progress;
+}
+
 bool shrink_config(TestCase& c, Prober& prober) {
   bool progress = false;
   // Each step rewrites one knob to its simplest value (returning false when
@@ -268,6 +298,7 @@ MinimizeResult minimize(const TestCase& failing, const FailurePredicate& fails,
     progress |= shrink_vertices(result.reduced, prober);
     progress |= shrink_edges(result.reduced, prober);
     progress |= shrink_pattern(result.reduced, prober);
+    progress |= shrink_mqo(result.reduced, prober);
     progress |= shrink_config(result.reduced, prober);
     if (!progress || prober.exhausted()) break;
   }

@@ -14,7 +14,10 @@
 #include "dist/sharded.hpp"
 #include "dynamic/dynamic_graph.hpp"
 #include "dynamic/incremental.hpp"
+#include "mqo/evaluator.hpp"
+#include "mqo/pattern_index.hpp"
 #include "pattern/matching_order.hpp"
+#include "stream/delta_stream.hpp"
 #include "service/service.hpp"
 #include "service/stream.hpp"
 #include "setops/simd.hpp"
@@ -41,6 +44,8 @@ const char* to_string(EngineKind kind) {
       return "stream";
     case EngineKind::kStorage:
       return "storage";
+    case EngineKind::kMqo:
+      return "mqo";
   }
   return "unknown";
 }
@@ -285,6 +290,103 @@ void run_storage_lane(const TestCase& c, const MatchingPlan& plan,
   }
 }
 
+/// Multi-query lane: the case pattern plus its sampled mqo_patterns all
+/// registered in one shared-prefix PatternIndex, evaluated in a single trie
+/// pass by replaying c.graph as one insertion batch over an edgeless base.
+/// Each registration's indexed delta must equal its own
+/// IncrementalMatcher's delta and the brute-force count of the full graph;
+/// registrations cheap enough to collect must reproduce DeltaStreamer's
+/// embedding lists bit for bit. Failures append notes and flip `agreed`.
+void run_mqo_lane(const TestCase& c, const OracleOptions& opts,
+                  OracleReport* report) {
+  const auto fail = [report](std::string note) {
+    report->agreed = false;
+    report->notes.push_back(std::move(note));
+  };
+
+  std::vector<Pattern> patterns;
+  patterns.push_back(c.pattern);
+  patterns.insert(patterns.end(), c.mqo_patterns.begin(),
+                  c.mqo_patterns.end());
+
+  // Per-registration ground truth first: it also decides which
+  // registrations are cheap enough to collect embeddings for.
+  PlanOptions lane_plan = c.plan;  // induced == kEdge (lane precondition)
+  std::vector<std::uint64_t> expected;
+  std::vector<bool> collect;
+  for (const Pattern& p : patterns) {
+    expected.push_back(reference_count(GraphView(c.graph), p,
+                                       {lane_plan.induced,
+                                        lane_plan.count_mode}));
+    collect.push_back(lane_plan.count_mode == CountMode::kEmbeddings &&
+                      expected.back() <= opts.mqo_max_matches);
+  }
+
+  mqo::PatternIndex index;
+  for (std::size_t i = 0; i < patterns.size(); ++i)
+    index.add(i + 1, patterns[i], lane_plan, collect[i]);
+
+  const Graph& g = c.graph;
+  Graph empty(
+      std::vector<EdgeId>(static_cast<std::size_t>(g.num_vertices()) + 1, 0),
+      {}, g.labels());
+  MutableGraph mutable_graph(std::move(empty));
+  UpdateBatch batch;
+  for (VertexId u = 0; u < g.num_vertices(); ++u)
+    for (VertexId v : g.neighbors(u))
+      if (u < v) batch.insertions.emplace_back(u, v);
+
+  auto from = mutable_graph.snapshot();
+  mqo::EvalResult res;
+  DeltaEdges applied;
+  if (!batch.insertions.empty()) applied = mutable_graph.apply(batch).applied;
+  res = mqo::MultiQueryEvaluator(index).evaluate(from, applied);
+
+  for (std::size_t i = 0; i < patterns.size(); ++i) {
+    const mqo::QueryDelta qd = index.project(i + 1, res);
+    const std::string who =
+        "mqo lane: registration " + std::to_string(i) + " (" +
+        patterns[i].to_string() + ")";
+    if (qd.delta < 0 ||
+        static_cast<std::uint64_t>(qd.delta) != expected[i]) {
+      fail(who + " indexed delta " + std::to_string(qd.delta) +
+           " != reference count " + std::to_string(expected[i]));
+      continue;
+    }
+    IncrementalOptions iopts;
+    iopts.plan = lane_plan;
+    const IncrementalMatcher matcher(patterns[i], iopts);
+    const std::int64_t loop = applied.empty()
+                                  ? 0
+                                  : matcher.count_delta(from, applied).delta;
+    if (qd.delta != loop) {
+      fail(who + " indexed delta " + std::to_string(qd.delta) +
+           " != per-pattern delta " + std::to_string(loop));
+      continue;
+    }
+    if (collect[i]) {
+      stream::DeltaBatch sb;
+      if (!applied.empty()) {
+        sb = stream::DeltaStreamer(patterns[i], lane_plan)
+                 .delta(from, applied);
+      }
+      if (qd.added != sb.added || qd.retracted != sb.retracted) {
+        fail(who + " collected " + std::to_string(qd.added.size()) + "+/" +
+             std::to_string(qd.retracted.size()) +
+             "- embeddings, DeltaStreamer has " +
+             std::to_string(sb.added.size()) + "+/" +
+             std::to_string(sb.retracted.size()) + "-");
+      }
+    }
+  }
+
+  // The lane's vote: the case pattern's indexed count over the replay.
+  const std::int64_t own = index.project(1, res).delta;
+  report->counts.push_back(
+      {EngineKind::kMqo,
+       own >= 0 ? static_cast<std::uint64_t>(own) : ~std::uint64_t{0}});
+}
+
 }  // namespace
 
 OracleReport run_oracle(const TestCase& c, const OracleOptions& opts) {
@@ -382,6 +484,15 @@ OracleReport run_oracle(const TestCase& c, const OracleOptions& opts) {
     run_storage_lane(c, plan, opts.stream_max_matches, &report);
   } else {
     report.skipped.push_back(EngineKind::kStorage);
+  }
+
+  // Multi-query lane: shares the incremental path's preconditions (anchored,
+  // edge-induced, >= 2 pattern vertices) and its per-delta-edge cost shape.
+  if (opts.run_mqo && c.plan.induced == Induced::kEdge &&
+      c.pattern.size() >= 2 && c.graph.num_edges() <= opts.mqo_max_edges) {
+    run_mqo_lane(c, opts, &report);
+  } else {
+    report.skipped.push_back(EngineKind::kMqo);
   }
 
   for (const EngineCount& e : report.counts)

@@ -31,8 +31,9 @@ enum class EngineKind : std::uint8_t {
   kSharded,        // cross-shard coordinator over the case's sampled partition
   kStream,         // drained embedding streams (service layer, all engines)
   kStorage,        // engines re-run over the case's sampled storage backend
+  kMqo,            // shared-prefix multi-query index vs per-pattern matchers
 };
-inline constexpr std::size_t kNumEngineKinds = 8;
+inline constexpr std::size_t kNumEngineKinds = 9;
 
 const char* to_string(EngineKind kind);
 
@@ -62,6 +63,19 @@ struct OracleOptions {
   /// plus a bit-identical reference enumeration order. Cases that sampled
   /// kUncompressed skip the lane (the store would be the raw CSR).
   bool run_storage = true;
+  /// Multi-query lane: register the case pattern plus its sampled
+  /// mqo_patterns in one shared-prefix PatternIndex and replay the graph as
+  /// a single batch over an edgeless base; every registration's indexed
+  /// delta must equal its per-pattern IncrementalMatcher delta and the
+  /// brute-force count, and collected embedding lists must equal
+  /// DeltaStreamer's bit for bit.
+  bool run_mqo = true;
+  /// Like incremental_max_edges: the lane's trie walks anchor per delta
+  /// edge, so skip graphs past this many edges.
+  EdgeId mqo_max_edges = 200;
+  /// Skip a registration's embedding-list comparison past this many
+  /// expected matches (the lists materialize every embedding twice over).
+  std::uint64_t mqo_max_matches = 20000;
 };
 
 struct EngineCount {

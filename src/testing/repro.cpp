@@ -150,6 +150,21 @@ std::string to_repro(const TestCase& c) {
      << (c.simt.global_steal ? 1 : 0) << " " << c.simt.stop_level << " "
      << c.simt.detect_level << "\n";
   os << "host " << c.host.num_threads << " " << c.host.chunk_size << "\n";
+  // Optional multi-query section (version-1 readers that predate it never
+  // wrote it): the extra standing patterns of the oracle's mqo lane.
+  if (!c.mqo_patterns.empty()) {
+    os << "mqo " << c.mqo_patterns.size() << "\n";
+    for (const Pattern& p : c.mqo_patterns) {
+      const auto mq_edges = p.edges();
+      os << "mq " << p.size() << " " << mq_edges.size() << "\n";
+      for (const auto& [u, v] : mq_edges) os << "mqe " << u << " " << v << "\n";
+      if (p.is_labeled()) {
+        os << "mqlabels";
+        for (const Label l : p.label_vector()) os << " " << +l;
+        os << "\n";
+      }
+    }
+  }
   // Optional section (version-1 readers that predate it never wrote it):
   // only non-default storage backends are recorded.
   if (c.storage_backend != storage::Backend::kUncompressed) {
@@ -271,7 +286,45 @@ TestCase from_repro(const std::string& text) {
   STM_CHECK_MSG(c.host.num_threads >= 1 && c.host.chunk_size >= 1,
                 "repro: host knobs must be >= 1 in \"" << reader.raw() << "\"");
 
-  reader.require_next("'storage', 'isa' or 'end'");
+  reader.require_next("'mqo', 'storage', 'isa' or 'end'");
+  if (reader.key_is("mqo")) {
+    reader.expect_arity(1);
+    const std::uint64_t count = reader.u64(1);
+    // Each pattern ends with a lookahead read (its optional 'mqlabels'),
+    // so every iteration starts with the current line already loaded.
+    reader.require_next(count > 0 ? "an 'mq n m' line"
+                                  : "'storage', 'isa' or 'end'");
+    for (std::uint64_t k = 0; k < count; ++k) {
+      reader.expect_key("mq");
+      reader.expect_arity(2);
+      const std::uint64_t mqn = reader.u64(1);
+      const std::uint64_t mqm = reader.u64(2);
+      STM_CHECK_MSG(mqn >= 2 && mqn <= kMaxPatternSize,
+                    "repro: mqo pattern size " << mqn << " out of range");
+      std::vector<std::pair<int, int>> mq_edges;
+      for (std::uint64_t i = 0; i < mqm; ++i) {
+        reader.require_next("an 'mqe u v' line");
+        reader.expect_key("mqe");
+        reader.expect_arity(2);
+        const std::uint64_t u = reader.u64(1);
+        const std::uint64_t v = reader.u64(2);
+        STM_CHECK_MSG(u < mqn && v < mqn && u != v,
+                      "repro: bad mqo pattern edge in \"" << reader.raw()
+                                                          << "\"");
+        mq_edges.emplace_back(static_cast<int>(u), static_cast<int>(v));
+      }
+      reader.require_next("'mqlabels', 'mq', 'storage', 'isa' or 'end'");
+      std::vector<Label> mq_labels;
+      if (reader.key_is("mqlabels")) {
+        mq_labels = parse_labels(reader, mqn);
+        reader.require_next("'mq', 'storage', 'isa' or 'end'");
+      }
+      c.mqo_patterns.emplace_back(static_cast<std::size_t>(mqn), mq_edges,
+                                  std::move(mq_labels));
+    }
+  }
+  // Whether or not an mqo section was present, the current line is now the
+  // next section's ('storage', 'isa' or 'end').
   if (reader.key_is("storage")) {
     reader.expect_arity(2);
     STM_CHECK_MSG(

@@ -304,6 +304,46 @@ TestCase random_case(std::uint64_t seed, const WorkloadOptions& opts) {
       simd::IsaChoice::kAuto, simd::IsaChoice::kScalar,
       simd::IsaChoice::kSse42, simd::IsaChoice::kAvx2};
   c.forced_isa = kIsaChoices[isa_rng.next_below(4)];
+  // Multi-query-lane knobs from a fifth derived stream: the extra standing
+  // patterns the oracle registers next to c.pattern. Duplicates of the case
+  // pattern stress canonical grouping, the prism / K_{3,3} pair stresses
+  // deep shared prefixes that must still diverge, and fresh samples stress
+  // arbitrary trie mixes.
+  Rng mqo_rng(seed ^ 0x94d049bb133111ebULL);
+  const std::size_t extras = mqo_rng.next_below(4);
+  for (std::size_t i = 0; i < extras; ++i) {
+    switch (mqo_rng.next_below(4)) {
+      case 0: {  // canonical-isomorphic relabeling of the case pattern
+        std::vector<std::size_t> perm(c.pattern.size());
+        for (std::size_t v = 0; v < perm.size(); ++v) perm[v] = v;
+        for (std::size_t v = perm.size(); v > 1; --v)
+          std::swap(perm[v - 1], perm[mqo_rng.next_below(v)]);
+        c.mqo_patterns.push_back(c.pattern.relabeled(perm));
+        break;
+      }
+      case 1:
+        c.mqo_patterns.push_back(
+            Pattern::parse("0-1,1-2,2-0,3-4,4-5,5-3,0-3,1-4,2-5"));  // prism
+        break;
+      case 2:
+        c.mqo_patterns.push_back(Pattern::parse(
+            "0-3,0-4,0-5,1-3,1-4,1-5,2-3,2-4,2-5"));  // K_{3,3}
+        break;
+      default: {
+        Pattern extra = random_pattern(mqo_rng, opts);
+        if (c.graph.is_labeled()) {
+          const std::size_t universe = c.graph.num_labels();
+          std::vector<Label> labels(extra.size());
+          for (auto& l : labels)
+            l = static_cast<Label>(
+                mqo_rng.next_below(std::max<std::size_t>(universe, 1)));
+          extra = extra.with_labels(labels);
+        }
+        c.mqo_patterns.push_back(std::move(extra));
+        break;
+      }
+    }
+  }
   return c;
 }
 
@@ -330,6 +370,7 @@ std::string describe(const TestCase& c) {
     os << "/" << c.storage_budget_bytes << "B";
   if (c.forced_isa != simd::IsaChoice::kAuto)
     os << " isa=" << simd::to_string(c.forced_isa);
+  if (!c.mqo_patterns.empty()) os << " mqo=" << c.mqo_patterns.size();
   return os.str();
 }
 

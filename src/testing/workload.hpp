@@ -107,6 +107,12 @@ struct TestCase {
   /// of what this machine supports (generation stays a pure function of the
   /// seed everywhere); the oracle degrades unsupported levels to kAuto.
   simd::IsaChoice forced_isa = simd::IsaChoice::kAuto;
+  /// Multi-query-lane knob (own derived stream): 0-3 extra standing
+  /// patterns the oracle registers alongside `pattern` in one shared-prefix
+  /// index — canonical-isomorphic relabelings of the case pattern, the
+  /// prism / K_{3,3} near-collider pair, and independently sampled shapes —
+  /// so indexed deltas are fuzzed against the per-pattern matchers.
+  std::vector<Pattern> mqo_patterns;
 };
 
 /// The fully derived case of `seed`: same seed, same case, bit for bit.

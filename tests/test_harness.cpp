@@ -8,6 +8,7 @@
 #include <set>
 #include <string>
 
+#include "pattern/canonical.hpp"
 #include "pattern/matching_order.hpp"
 #include "setops/simd.hpp"
 #include "testing/metamorphic.hpp"
@@ -114,6 +115,38 @@ TEST(HarnessWorkload, IsaLaneSamplesEveryChoice) {
   EXPECT_EQ(seen.size(), 4u);
 }
 
+TEST(HarnessWorkload, MqoLaneSamplesDuplicatesAndNearColliders) {
+  // The mqo knob rides its own derived stream; a seed sweep must produce
+  // empty and non-empty pattern sets, canonical-isomorphic duplicates of
+  // the case pattern, and the prism / K_{3,3} near-collider pair.
+  const std::string prism =
+      canonical_form(Pattern::parse("0-1,1-2,2-0,3-4,4-5,5-3,0-3,1-4,2-5"));
+  const std::string k33 =
+      canonical_form(Pattern::parse("0-3,0-4,0-5,1-3,1-4,1-5,2-3,2-4,2-5"));
+  bool saw_empty = false, saw_duplicate = false;
+  bool saw_prism = false, saw_k33 = false;
+  for (std::uint64_t seed = 0; seed < 96; ++seed) {
+    const TestCase c = random_case(derive_seed(0x301, seed));
+    if (c.mqo_patterns.empty()) saw_empty = true;
+    const std::string own = canonical_form(c.pattern);
+    for (const Pattern& p : c.mqo_patterns) {
+      EXPECT_TRUE(p.is_connected());
+      EXPECT_GE(p.size(), 2u);
+      if (!c.graph.is_labeled()) {
+        EXPECT_FALSE(p.is_labeled());
+      }
+      const std::string canon = canonical_form(p);
+      if (canon == own) saw_duplicate = true;
+      if (canon == prism) saw_prism = true;
+      if (canon == k33) saw_k33 = true;
+    }
+  }
+  EXPECT_TRUE(saw_empty);
+  EXPECT_TRUE(saw_duplicate);
+  EXPECT_TRUE(saw_prism);
+  EXPECT_TRUE(saw_k33);
+}
+
 TEST(HarnessWorkload, FamilyNamesRoundTrip) {
   for (std::size_t f = 0; f < harness::kNumGraphFamilies; ++f) {
     const auto family = static_cast<harness::GraphFamily>(f);
@@ -145,6 +178,27 @@ TEST(HarnessOracle, SkipsIncrementalWhenInapplicable) {
     if (e.engine == harness::EngineKind::kIncremental) incremental_ran = true;
   EXPECT_FALSE(incremental_ran);
   EXPECT_TRUE(report.agreed) << report.describe();
+}
+
+TEST(HarnessOracle, MqoLaneVotesAcrossSeeds) {
+  // The multi-query lane must actually run (not be perpetually skipped) and
+  // agree over a seed sweep, including cases whose sampled pattern sets are
+  // duplicate-heavy.
+  int voted = 0, with_extras = 0;
+  for (std::uint64_t trial = 0; trial < 30; ++trial) {
+    const TestCase c = random_case(derive_seed(0x3901, trial));
+    const OracleReport report = run_oracle(c);
+    EXPECT_TRUE(report.agreed)
+        << harness::describe(c) << "\n" << report.describe();
+    for (const auto& e : report.counts) {
+      if (e.engine != harness::EngineKind::kMqo) continue;
+      ++voted;
+      EXPECT_EQ(e.count, report.expected) << harness::describe(c);
+      if (!c.mqo_patterns.empty()) ++with_extras;
+    }
+  }
+  EXPECT_GT(voted, 0) << "mqo lane never ran in 30 trials";
+  EXPECT_GT(with_extras, 0) << "mqo lane never saw a non-trivial pattern set";
 }
 
 TEST(HarnessOracle, DetectsSabotagedHostEngine) {
@@ -225,6 +279,24 @@ TEST(HarnessMinimize, ShrinksSabotagedCaseToMinimalRepro) {
   FAIL() << "no disagreeing case in 50 trials";
 }
 
+TEST(HarnessMinimize, ShrinksMqoPatternAxis) {
+  // A failure that depends on one registered pattern: the minimizer must
+  // drop every other extra while keeping that one.
+  TestCase c = random_case(derive_seed(0x3902, 4));
+  const Pattern needle = Pattern::parse("0-1,1-2,2-0,3-4,4-5,5-3,0-3,1-4,2-5");
+  c.mqo_patterns = {Pattern::parse("0-1,1-2,2-0"), needle,
+                    Pattern::parse("0-1,1-2,2-3")};
+  const std::string canon = canonical_form(needle);
+  const auto result = minimize(c, [&canon](const TestCase& t) {
+    for (const Pattern& p : t.mqo_patterns)
+      if (canonical_form(p) == canon) return true;
+    return false;
+  });
+  EXPECT_TRUE(result.still_failing);
+  ASSERT_EQ(result.reduced.mqo_patterns.size(), 1u);
+  EXPECT_EQ(canonical_form(result.reduced.mqo_patterns[0]), canon);
+}
+
 TEST(HarnessMinimize, NonFailingInputReturnsImmediately) {
   const TestCase c = random_case(21);
   const auto result = minimize(c, [](const TestCase&) { return false; });
@@ -284,6 +356,33 @@ TEST(HarnessRepro, RoundTripsEveryField) {
     EXPECT_EQ(back.host.num_threads, c.host.num_threads);
     EXPECT_EQ(back.forced_isa, c.forced_isa);
   }
+}
+
+TEST(HarnessRepro, MqoPatternsRoundTrip) {
+  TestCase c = random_case(7);
+  c.mqo_patterns.clear();
+  EXPECT_EQ(to_repro(c).find("mqo "), std::string::npos)
+      << "empty pattern set must not be serialized";
+
+  c.mqo_patterns = {
+      Pattern::parse("0-1,1-2,2-0"),
+      Pattern::parse("0-1,1-2").with_labels({0, 2, 1}),
+  };
+  const std::string text = to_repro(c);
+  EXPECT_NE(text.find("mqo 2\n"), std::string::npos) << text;
+  const TestCase back = from_repro(text);
+  EXPECT_EQ(to_repro(back), text);
+  ASSERT_EQ(back.mqo_patterns.size(), 2u);
+  EXPECT_EQ(back.mqo_patterns[0], c.mqo_patterns[0]);
+  EXPECT_EQ(back.mqo_patterns[1], c.mqo_patterns[1]);
+
+  // Malformed mqo sections must throw, never half-parse.
+  std::string bad = text;
+  bad.replace(bad.find("mqo 2"), 5, "mqo 9");
+  EXPECT_THROW(from_repro(bad), check_error);
+  bad = text;
+  bad.replace(bad.find("mqe 0 1"), 7, "mqe 0 7");
+  EXPECT_THROW(from_repro(bad), check_error);
 }
 
 TEST(HarnessRepro, IsaLineRoundTripsAndRejectsUnknownNames) {

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "graph/generators.hpp"
+#include "mqo/pattern_index.hpp"
 #include "persist/checkpoint.hpp"
 #include "persist/codec.hpp"
 #include "persist/manager.hpp"
@@ -477,6 +478,56 @@ TEST(PersistSession, StandingQueriesSurviveRestartWithCountsIntact) {
   EXPECT_EQ(s.standing_query(id)->count, count_triangles(s));
 }
 
+TEST(PersistSession, IndexedStandingStateSurvivesRestart) {
+  ScopedDir dir("standing-indexed");
+  const Graph g = seed_graph();
+  const auto indexed_cfg = [&dir]() {
+    SessionConfig cfg = persist_cfg(dir.str());
+    cfg.standing_index = true;
+    return cfg;
+  };
+  std::uint64_t id = 0, dup = 0, doomed = 0, count = 0;
+  {
+    GraphSession s(g, indexed_cfg());
+    StandingQueryConfig sq;
+    sq.pattern = triangle();
+    id = s.register_standing_query(sq);
+    StandingQueryConfig relabeled;
+    relabeled.pattern = triangle().relabeled({1, 2, 0});
+    dup = s.register_standing_query(relabeled);
+    StandingQueryConfig path;
+    path.pattern = Pattern::parse("0-1,1-2");
+    doomed = s.register_standing_query(path);
+    for (int k = 0; k < 3; ++k) s.apply_updates(make_batch(k, 60));
+    ASSERT_TRUE(s.unregister_standing_query(doomed));
+    for (int k = 3; k < 5; ++k) s.apply_updates(make_batch(k, 60));
+    count = s.standing_query(id)->count;
+  }
+  GraphSession s(g, indexed_cfg());
+  EXPECT_EQ(s.standing_query(id)->count, count);
+  EXPECT_EQ(s.standing_query(dup)->count, count);
+  EXPECT_FALSE(s.standing_query(doomed).has_value());
+  EXPECT_EQ(s.standing_query(id)->count, count_triangles(s));
+
+  // The rebuilt trie must be bit-identical to a never-crashed index holding
+  // the surviving registrations.
+  const mqo::IndexStats st = s.standing_index_stats();
+  EXPECT_EQ(st.registrations, 2u);
+  EXPECT_EQ(st.groups, 1u);
+  mqo::PatternIndex twin;
+  twin.add(id, triangle(), {}, false);
+  twin.add(dup, triangle().relabeled({1, 2, 0}), {}, false);
+  EXPECT_EQ(st.trie.nodes, twin.stats().trie.nodes);
+  EXPECT_EQ(st.trie.terminals, twin.stats().trie.terminals);
+  EXPECT_EQ(st.trie.plan_positions, twin.stats().trie.plan_positions);
+
+  // And the recovered index keeps advancing exactly.
+  const UpdateOutcome out = s.apply_updates(make_batch(5, 60));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(s.standing_query(id)->count, count_triangles(s));
+  EXPECT_EQ(s.standing_query(dup)->count, count_triangles(s));
+}
+
 TEST(PersistSession, ResumeTokenSurvivesRestart) {
   ScopedDir dir("resume");
   const Graph g = seed_graph();
@@ -610,8 +661,12 @@ struct KillScenario {
   std::vector<persist::WalRecord> records;
   std::string wal_bytes;
 
-  KillScenario() {
-    GraphSession s(g, persist_cfg(dir.str()));
+  /// With `standing_index` the scenario runs every session (initial and
+  /// recovered) in indexed mode, so every cut also exercises the trie
+  /// rebuild to the acknowledged registration prefix.
+  explicit KillScenario(bool standing_index = false)
+      : standing_index_(standing_index) {
+    GraphSession s(g, session_cfg(dir.str()));
     expected.push_back({0, false, 0});
     StandingQueryConfig sq;
     sq.pattern = triangle();
@@ -640,7 +695,7 @@ struct KillScenario {
       fs::copy(entry.path(), fs::path(scratch.str()) / entry.path().filename());
     write_file(wal_file(scratch.str()), bytes);
 
-    GraphSession s(g, persist_cfg(scratch.str()));
+    GraphSession s(g, session_cfg(scratch.str()));
     const Expect& e = expected[prefix];
     EXPECT_EQ(s.epoch(), e.epoch) << what;
     const auto info = s.standing_query(standing_id);
@@ -651,8 +706,42 @@ struct KillScenario {
       // recovered graph — the differential oracle for every cut point.
       EXPECT_EQ(info->count, count_triangles(s)) << what;
     }
+    if (standing_index_) {
+      // The trie must be rebuilt bit-identically to the acknowledged
+      // registration prefix: either exactly the triangle's plans or empty.
+      const mqo::IndexStats st = s.standing_index_stats();
+      EXPECT_EQ(st.registrations, e.has_standing ? 1u : 0u) << what;
+      mqo::PatternIndex twin;
+      if (e.has_standing) twin.add(standing_id, triangle(), {}, false);
+      EXPECT_EQ(st.trie.nodes, twin.stats().trie.nodes) << what;
+      EXPECT_EQ(st.trie.terminals, twin.stats().trie.terminals) << what;
+      EXPECT_EQ(st.trie.max_depth, twin.stats().trie.max_depth) << what;
+    }
   }
+
+ private:
+  SessionConfig session_cfg(const std::string& state_dir) const {
+    SessionConfig cfg = persist_cfg(state_dir);
+    cfg.standing_index = standing_index_;
+    return cfg;
+  }
+
+  bool standing_index_ = false;
 };
+
+TEST(PersistKillMatrix, IndexedTrieRebuildAtEveryBoundary) {
+  KillScenario sc(/*standing_index=*/true);
+  ASSERT_EQ(sc.records.size(), 7u);  // 1 registration + 6 batches
+  sc.check_cut(sc.wal_bytes.substr(0, persist::kWalMagicSize), 0,
+               "indexed cut after magic");
+  for (std::size_t i = 0; i < sc.records.size(); ++i) {
+    const auto& rec = sc.records[i];
+    const std::size_t end =
+        static_cast<std::size_t>(rec.file_offset + rec.frame_size);
+    sc.check_cut(sc.wal_bytes.substr(0, end), i + 1,
+                 "indexed cut after record " + std::to_string(i + 1));
+  }
+}
 
 TEST(PersistKillMatrix, EveryRecordBoundary) {
   KillScenario sc;
